@@ -1,0 +1,246 @@
+//! Error-burst structure of measured syndromes.
+//!
+//! The paper's FEC discussion (Sections 8, 9.4) hinges on *what the errors
+//! look like*, not just how many there are: Viterbi-decoded convolutional
+//! codes handle scattered errors and hate bursts, so the right interleaver
+//! depth — and whether FEC is worth it at all — follows from burst
+//! statistics. This module extracts them from analyzed traces:
+//!
+//! * per-packet syndromes are concatenated into a bit-error indicator
+//!   sequence (damaged, non-truncated test packets only — the only packets
+//!   whose syndromes the methodology can trust, per Section 4);
+//! * [`BurstReport`] gives burst count/length/gap statistics and a fitted
+//!   Gilbert–Elliott channel;
+//! * [`BurstReport::recommended_interleaver_rows`] turns that into an
+//!   interleaver depth (a row count comfortably above the observed bursts).
+
+use crate::classify::{PacketClass, TraceAnalysis};
+use wavelan_net::testpkt::TEST_BODY_BITS;
+use wavelan_phy::gilbert::GilbertElliott;
+use wavelan_sim::Trace;
+
+/// Burst statistics of a trace's body-error syndromes.
+#[derive(Debug, Clone)]
+pub struct BurstReport {
+    /// Total body bits examined.
+    pub bits: u64,
+    /// Total corrupted bits.
+    pub errors: u64,
+    /// Number of bursts (errors within `burst_gap` bits merge).
+    pub bursts: usize,
+    /// Mean burst length, bits (first to last error of the burst).
+    pub mean_burst_len: f64,
+    /// Longest burst, bits.
+    pub max_burst_len: usize,
+    /// Mean errors per burst.
+    pub errors_per_burst: f64,
+    /// The fitted two-state channel, when fittable.
+    pub fitted: Option<GilbertElliott>,
+}
+
+impl BurstReport {
+    /// Overall bit error rate of the examined bits.
+    pub fn ber(&self) -> f64 {
+        if self.bits == 0 {
+            return 0.0;
+        }
+        self.errors as f64 / self.bits as f64
+    }
+
+    /// An interleaver row count that disperses the observed bursts: twice
+    /// the maximum burst length (so even the worst burst lands ≤1 error per
+    /// deinterleaved constraint span), floored at 8 rows.
+    pub fn recommended_interleaver_rows(&self) -> usize {
+        (self.max_burst_len * 2).max(8)
+    }
+}
+
+/// Extracts the per-packet error syndrome of a damaged test packet by
+/// re-deriving the majority word and XOR-ing (same procedure the classifier
+/// uses, exposed here per-bit).
+fn packet_syndrome(bytes: &[u8]) -> Vec<bool> {
+    let words = crate::matcher::body_words(bytes);
+    let Some((majority, _)) = crate::matcher::majority_word(&words) else {
+        return Vec::new();
+    };
+    let mut out = Vec::with_capacity(words.len() * 32);
+    for w in &words {
+        let diff = w ^ majority;
+        for bit in (0..32).rev() {
+            out.push((diff >> bit) & 1 == 1);
+        }
+    }
+    out
+}
+
+/// Builds the burst report for a trace + its analysis. `burst_gap` is the
+/// merge distance in bits (errors closer than this are one burst; 64 — four
+/// constraint spans — is a reasonable default).
+pub fn burst_report(trace: &Trace, analysis: &TraceAnalysis, burst_gap: usize) -> BurstReport {
+    // Concatenate syndromes of damaged, full-length test packets. Undamaged
+    // full packets contribute clean stretches (they are part of the channel's
+    // good time), keeping the fitted good-state honest.
+    let mut sequence: Vec<bool> = Vec::new();
+    for p in analysis.packets.iter().filter(|p| p.is_test) {
+        match p.class {
+            PacketClass::BodyDamaged => {
+                sequence.extend(packet_syndrome(&trace.records[p.index].bytes));
+            }
+            PacketClass::Undamaged => {
+                sequence.extend(std::iter::repeat_n(false, TEST_BODY_BITS as usize));
+            }
+            _ => {}
+        }
+    }
+
+    let positions: Vec<usize> = sequence
+        .iter()
+        .enumerate()
+        .filter(|(_, &e)| e)
+        .map(|(i, _)| i)
+        .collect();
+    let mut bursts: Vec<(usize, usize)> = Vec::new();
+    if !positions.is_empty() {
+        let mut start = positions[0];
+        let mut prev = positions[0];
+        for &p in &positions[1..] {
+            if p - prev > burst_gap {
+                bursts.push((start, prev));
+                start = p;
+            }
+            prev = p;
+        }
+        bursts.push((start, prev));
+    }
+    let lengths: Vec<usize> = bursts.iter().map(|&(s, e)| e - s + 1).collect();
+    let mean_burst_len = if lengths.is_empty() {
+        0.0
+    } else {
+        lengths.iter().sum::<usize>() as f64 / lengths.len() as f64
+    };
+
+    BurstReport {
+        bits: sequence.len() as u64,
+        errors: positions.len() as u64,
+        bursts: bursts.len(),
+        mean_burst_len,
+        max_burst_len: lengths.iter().copied().max().unwrap_or(0),
+        errors_per_burst: if bursts.is_empty() {
+            0.0
+        } else {
+            positions.len() as f64 / bursts.len() as f64
+        },
+        fitted: GilbertElliott::fit(&sequence, burst_gap),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::ExpectedSeries;
+    use wavelan_mac::network_id::{wrap_with_network_id, NetworkId};
+    use wavelan_net::testpkt::{Endpoint, TestPacket};
+    use wavelan_sim::TraceRecord;
+
+    fn series() -> ExpectedSeries {
+        ExpectedSeries {
+            src: Endpoint::station(2),
+            dst: Endpoint::station(1),
+            network_id: NetworkId::TESTBED,
+        }
+    }
+
+    fn record(bytes: Vec<u8>) -> TraceRecord {
+        TraceRecord {
+            time_ns: 0,
+            bytes,
+            level: 29,
+            silence: 3,
+            quality: 15,
+            antenna: 0,
+            truth: None,
+        }
+    }
+
+    fn wire_with_burst(seq: u32, burst_start_bit: usize, burst_len: usize) -> Vec<u8> {
+        let e = series();
+        let mut wire =
+            wrap_with_network_id(e.network_id, &TestPacket { seq }.build_frame(e.src, e.dst));
+        let body = wavelan_mac::network_id::NETWORK_ID_LEN + TestPacket::body_offset();
+        for b in burst_start_bit..burst_start_bit + burst_len {
+            let byte = body + b / 8;
+            wire[byte] ^= 0x80 >> (b % 8);
+        }
+        wire
+    }
+
+    #[test]
+    fn single_burst_is_characterized() {
+        let mut trace = Trace {
+            packets_transmitted: 2,
+            ..Trace::default()
+        };
+        trace.push(record(wire_with_burst(0, 1000, 24)));
+        trace.push(record(wire_with_burst(1, 0, 0))); // clean
+        let analysis = crate::classify::classify_trace(&trace, &series());
+        let report = burst_report(&trace, &analysis, 64);
+        assert_eq!(report.errors, 24);
+        assert_eq!(report.bursts, 1);
+        assert_eq!(report.max_burst_len, 24);
+        assert!((report.errors_per_burst - 24.0).abs() < 1e-9);
+        assert_eq!(report.bits, 2 * 8192);
+        assert_eq!(report.recommended_interleaver_rows(), 48);
+    }
+
+    #[test]
+    fn separate_bursts_are_split_by_gap() {
+        let mut trace = Trace::default();
+        let mut wire = wire_with_burst(0, 100, 8);
+        // second burst 2000 bits later in the same packet
+        let body = wavelan_mac::network_id::NETWORK_ID_LEN + TestPacket::body_offset();
+        for b in 2100..2108 {
+            wire[body + b / 8] ^= 0x80 >> (b % 8);
+        }
+        trace.push(record(wire));
+        let analysis = crate::classify::classify_trace(&trace, &series());
+        let report = burst_report(&trace, &analysis, 64);
+        assert_eq!(report.bursts, 2);
+        assert_eq!(report.errors, 16);
+    }
+
+    #[test]
+    fn clean_trace_reports_zero() {
+        let mut trace = Trace::default();
+        trace.push(record(wire_with_burst(0, 0, 0)));
+        let analysis = crate::classify::classify_trace(&trace, &series());
+        let report = burst_report(&trace, &analysis, 64);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.bursts, 0);
+        assert_eq!(report.ber(), 0.0);
+        assert!(report.fitted.is_none());
+        assert_eq!(report.recommended_interleaver_rows(), 8);
+    }
+
+    #[test]
+    fn fitted_channel_reflects_burstiness() {
+        // Many packets, each with one 16-bit burst: the fitted bad-state BER
+        // must be far above the overall BER.
+        let mut trace = Trace::default();
+        for i in 0..24u32 {
+            trace.push(record(wire_with_burst(
+                i,
+                500 + (i as usize * 97) % 6000,
+                16,
+            )));
+        }
+        let analysis = crate::classify::classify_trace(&trace, &series());
+        let report = burst_report(&trace, &analysis, 64);
+        let fitted = report.fitted.expect("fittable");
+        assert!(
+            fitted.ber_bad > report.ber() * 50.0,
+            "{fitted:?} vs {}",
+            report.ber()
+        );
+        assert!(fitted.mean_bad_sojourn() < 64.0);
+    }
+}

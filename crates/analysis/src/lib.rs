@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+
+//! # wavelan-analysis
+//!
+//! The study's offline analysis pipeline (paper Section 4), reimplemented
+//! over the [`wavelan_sim::trace`] format.
+//!
+//! The receiver logs *everything* — damaged, truncated, misaddressed, foreign
+//! — so deciding what each logged packet *is* requires heuristics:
+//!
+//! > "we use a heuristic matching procedure to determine whether a given
+//! > packet is one of the test series. ... We apply a second heuristic
+//! > procedure to determine the sequence number of any packet we believe is
+//! > a test packet. Since the packet body consists of a single word repeated
+//! > multiple times, truncated packet bodies are ambiguous ... Therefore, we
+//! > produce an estimated error syndrome (bit corruption pattern) only for
+//! > those test packets which are damaged but not truncated. ... Due to these
+//! > factors, our packet loss rate and bit error rate (BER) figures are
+//! > necessarily only estimates."
+//!
+//! Modules:
+//!
+//! * [`matcher`] — is this logged packet one of ours? (score-based heuristic
+//!   over addresses, ports, frame length and the repeated-word body),
+//! * [`classify`] — Undamaged / Truncated / Wrapper-damaged / Body-damaged /
+//!   Outsider, plus the body-bit error syndrome,
+//! * [`stats`] — streaming min / mean / σ / max, the paper's `↓ μ (σ) ↑`
+//!   columns,
+//! * [`summary`] — per-trial aggregation into the paper's Table 1 column set,
+//! * [`report`] — plain-text renderings that mirror the paper's tables,
+//! * [`bursts`] — error-burst statistics and Gilbert–Elliott fitting over
+//!   measured syndromes (feeds interleaver-depth choices in `wavelan-fec`),
+//! * [`lossruns`] — temporal structure of packet loss from recovered
+//!   sequence numbers (isolated drops vs multi-packet outages).
+//!
+//! The pipeline never reads the simulator's ground truth; tests score it
+//! against the truth after the fact.
+
+pub mod bursts;
+pub mod classify;
+pub mod lossruns;
+pub mod matcher;
+pub mod report;
+pub mod stats;
+pub mod summary;
+
+pub use bursts::{burst_report, BurstReport};
+pub use classify::{AnalyzedPacket, PacketClass, TraceAnalysis};
+pub use lossruns::{loss_runs, LossRunReport};
+pub use matcher::ExpectedSeries;
+pub use stats::SignalStats;
+pub use summary::TrialSummary;
+
+use wavelan_sim::Trace;
+
+/// Runs the full pipeline over a trace: match, classify, aggregate.
+pub fn analyze(trace: &Trace, expected: &ExpectedSeries) -> TraceAnalysis {
+    classify::classify_trace(trace, expected)
+}

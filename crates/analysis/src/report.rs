@@ -1,0 +1,155 @@
+//! Plain-text table rendering in the paper's style.
+//!
+//! Two table shapes cover all thirteen of the paper's tables:
+//!
+//! * the *results* table (Tables 2, 5, 8, 11): one row per trial with the
+//!   Table 1 column set — rendered by [`render_results_table`];
+//! * the *signal metrics* table (Tables 3, 4, 6, 7, 9, 10, 12, 13, 14): one
+//!   row per trial or packet class with `↓ μ (σ) ↑` cells for level, silence
+//!   and quality — rendered by [`render_signal_table`].
+
+use crate::stats::SignalStats;
+use crate::summary::TrialSummary;
+
+/// One row of a signal-metrics table.
+#[derive(Debug, Clone)]
+pub struct SignalRow {
+    /// Row label (trial name or packet class).
+    pub name: String,
+    /// Packets in the row.
+    pub packets: u64,
+    /// Level statistics.
+    pub level: SignalStats,
+    /// Silence statistics.
+    pub silence: SignalStats,
+    /// Quality statistics.
+    pub quality: SignalStats,
+}
+
+impl SignalRow {
+    /// Builds a row from the `(level, silence, quality)` triple that
+    /// [`crate::classify::TraceAnalysis::stats_where`] returns.
+    pub fn new(name: &str, stats: (SignalStats, SignalStats, SignalStats)) -> SignalRow {
+        SignalRow {
+            name: name.to_string(),
+            packets: stats.0.count(),
+            level: stats.0,
+            silence: stats.1,
+            quality: stats.2,
+        }
+    }
+}
+
+/// Renders a results table (the Table 2 / 5 / 8 / 11 shape).
+pub fn render_results_table(title: &str, rows: &[TrialSummary]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!(
+        "{:<22} {:>9} {:>8} {:>10} {:>12} {:>8} {:>6} {:>6}\n",
+        "Trial", "Received", "Loss", "Truncated", "Bits", "Wrapper", "Body", "Worst"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<22} {:>9} {:>8} {:>10} {:>12} {:>8} {:>6} {:>6}\n",
+            r.name,
+            r.packets_received,
+            r.loss_percent_string(),
+            r.packets_truncated,
+            r.bits_received_string(),
+            r.wrapper_damaged,
+            r.body_bits_damaged,
+            if r.body_bits_damaged == 0 {
+                "-".to_string()
+            } else {
+                r.worst_body.to_string()
+            },
+        ));
+    }
+    out
+}
+
+/// Renders a signal-metrics table (the Table 3 / 6 / 9 / 12 shape).
+pub fn render_signal_table(title: &str, rows: &[SignalRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!(
+        "{:<28} {:>8}  {:^22}  {:^22}  {:^22}\n",
+        "Row",
+        "Packets",
+        "Level  v mean (sd) ^",
+        "Silence  v mean (sd) ^",
+        "Quality  v mean (sd) ^"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<28} {:>8}  {:>22}  {:>22}  {:>22}\n",
+            r.name,
+            r.packets,
+            r.level.cell(),
+            r.silence.cell(),
+            r.quality.cell(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_table_renders_all_rows() {
+        let rows = vec![
+            TrialSummary {
+                name: "office1".into(),
+                packets_received: 102_720,
+                packet_loss: 0.0003,
+                packets_truncated: 1,
+                bits_received: 800_000_000,
+                wrapper_damaged: 0,
+                body_bits_damaged: 0,
+                worst_body: 0,
+            },
+            TrialSummary {
+                name: "Tx5".into(),
+                packets_received: 1_440,
+                packet_loss: 0.0007,
+                packets_truncated: 1,
+                bits_received: 10_000_000,
+                wrapper_damaged: 0,
+                body_bits_damaged: 82,
+                worst_body: 7,
+            },
+        ];
+        let table = render_results_table("Table 2: in-room", &rows);
+        assert!(table.contains("office1"));
+        assert!(table.contains("102720"));
+        assert!(table.contains("8 x 10^8"));
+        assert!(table.contains("Tx5"));
+        assert!(table.contains("82"));
+        // Zero damage prints a dash, like the paper.
+        assert!(table.lines().nth(2).unwrap().trim_end().ends_with('-'));
+    }
+
+    #[test]
+    fn signal_table_renders_stats_cells() {
+        let mut level = SignalStats::new();
+        let mut silence = SignalStats::new();
+        let mut quality = SignalStats::new();
+        for v in [25u8, 26, 28] {
+            level.push(v);
+        }
+        for v in [0u8, 2, 4] {
+            silence.push(v);
+        }
+        for _ in 0..3 {
+            quality.push(15);
+        }
+        let row = SignalRow::new("All test packets", (level, silence, quality));
+        assert_eq!(row.packets, 3);
+        let table = render_signal_table("Table 3", &[row]);
+        assert!(table.contains("All test packets"));
+        assert!(table.contains("26.33"));
+        assert!(table.contains("15.00"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Component benchmarks: how fast are the substrates the experiments stand on?
+//!
+//! Groups:
+//! * `framing` — CRC-32, internet checksum, full test-frame build/parse,
+//! * `modem` — DQPSK modulation, Barker spreading/despreading (chip path),
+//! * `fec` — convolutional encode, Viterbi decode (hard/soft), RCPC rates,
+//! * `link` — the closed-form per-packet reception pipeline,
+//! * `sim` — end-to-end simulated packets per second through the event loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wavelan_fec::convolutional::{bytes_to_bits, ConvolutionalEncoder};
+use wavelan_fec::rcpc::{CodeRate, RcpcCodec};
+use wavelan_fec::ViterbiDecoder;
+use wavelan_net::checksum::internet_checksum;
+use wavelan_net::crc32::crc32;
+use wavelan_net::testpkt::{Endpoint, TestPacket};
+use wavelan_net::EthernetFrame;
+use wavelan_phy::interference::{DutyCycle, InterferenceKind, Interferer};
+use wavelan_phy::link::LinkModel;
+use wavelan_phy::modulation::{DqpskDemodulator, DqpskModulator};
+use wavelan_phy::spreading::SpreadingCode;
+use wavelan_sim::runner::attach_tx_count;
+use wavelan_sim::{Point, ScenarioBuilder, StationConfig};
+
+fn framing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("framing");
+    let frame = TestPacket { seq: 7 }.build_frame(Endpoint::station(1), Endpoint::station(2));
+    g.throughput(Throughput::Bytes(frame.len() as u64));
+    g.bench_function("crc32_1070B", |b| {
+        b.iter(|| crc32(std::hint::black_box(&frame)))
+    });
+    g.bench_function("checksum_1070B", |b| {
+        b.iter(|| internet_checksum(std::hint::black_box(&frame)))
+    });
+    g.bench_function("build_test_frame", |b| {
+        b.iter(|| TestPacket { seq: 9 }.build_frame(Endpoint::station(1), Endpoint::station(2)))
+    });
+    g.bench_function("parse_test_frame", |b| {
+        b.iter(|| EthernetFrame::parse(std::hint::black_box(&frame)).unwrap())
+    });
+    g.finish();
+}
+
+fn modem(c: &mut Criterion) {
+    let mut g = c.benchmark_group("modem");
+    let data = vec![0xA5u8; 1024];
+    g.throughput(Throughput::Bytes(1024));
+    g.bench_function("dqpsk_modulate_1KiB", |b| {
+        b.iter(|| DqpskModulator::new().modulate_bytes(std::hint::black_box(&data)))
+    });
+    let symbols = DqpskModulator::new().modulate_bytes(&data);
+    g.bench_function("dqpsk_demodulate_1KiB", |b| {
+        b.iter(|| DqpskDemodulator::new().demodulate_bytes(std::hint::black_box(&symbols)))
+    });
+    let code = SpreadingCode::barker11();
+    g.bench_function("barker_spread_1KiB", |b| {
+        b.iter(|| code.spread(std::hint::black_box(&symbols)))
+    });
+    let chips = code.spread(&symbols);
+    g.bench_function("barker_despread_1KiB", |b| {
+        b.iter(|| code.despread(std::hint::black_box(&chips)))
+    });
+    g.finish();
+}
+
+fn fec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fec");
+    let payload = vec![0x5Au8; 256];
+    let bits = bytes_to_bits(&payload);
+    g.throughput(Throughput::Bytes(256));
+    g.bench_function("conv_encode_256B", |b| {
+        b.iter(|| ConvolutionalEncoder::new().encode_terminated(std::hint::black_box(&bits)))
+    });
+    let coded = ConvolutionalEncoder::new().encode_terminated(&bits);
+    let dec = ViterbiDecoder::new();
+    g.bench_function("viterbi_hard_256B", |b| {
+        b.iter(|| dec.decode_hard(std::hint::black_box(&coded)))
+    });
+    let soft = wavelan_fec::viterbi::hard_to_soft(&coded);
+    g.bench_function("viterbi_soft_256B", |b| {
+        b.iter(|| dec.decode_terminated(std::hint::black_box(&soft)))
+    });
+    let codec = RcpcCodec::new();
+    for rate in CodeRate::ALL {
+        let tx = codec.encode(&payload, rate);
+        g.bench_with_input(
+            BenchmarkId::new("rcpc_decode", format!("{rate:?}")),
+            &tx,
+            |b, tx| b.iter(|| codec.decode_hard(tx, payload.len(), rate)),
+        );
+    }
+    g.finish();
+}
+
+fn link(c: &mut Criterion) {
+    let mut g = c.benchmark_group("link");
+    let model = LinkModel::default();
+    let phone = Interferer {
+        kind: InterferenceKind::WidebandInBand,
+        power_dbm: -60.0,
+        duty: DutyCycle::Burst {
+            period_bits: 8_000,
+            on_bits: 4_000,
+        },
+        burst_sigma_db: 2.0,
+    };
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("receive_clean", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| model.receive(-48.0, &[], 8_576, &mut rng))
+    });
+    g.bench_function("receive_noisy_edge", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| model.receive(-83.0, &[], 8_576, &mut rng))
+    });
+    g.bench_function("receive_with_interference", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            let em = phone.emissions(8_576, &mut rng);
+            model.receive(-53.0, &em, 8_576, &mut rng)
+        })
+    });
+    g.finish();
+}
+
+fn sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(2_000));
+    g.bench_function("two_station_trial_2000pkt", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut builder = ScenarioBuilder::new(seed);
+            let rx = builder.station(StationConfig::receiver(
+                Endpoint::station(1),
+                Point::feet(0.0, 0.0),
+            ));
+            let tx = builder.station(StationConfig::sender(
+                Endpoint::station(2),
+                Point::feet(7.0, 0.0),
+                rx,
+            ));
+            let scenario = builder.build();
+            let mut result = scenario.run(tx, 2_000);
+            attach_tx_count(&mut result, rx, tx);
+            result.trace(rx).len()
+        })
+    });
+    g.finish();
+}
+
+fn analysis_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analysis");
+    // Build a trace once, measure the pipeline.
+    let mut builder = ScenarioBuilder::new(11);
+    let rx = builder.station(StationConfig::receiver(
+        Endpoint::station(1),
+        Point::feet(0.0, 0.0),
+    ));
+    let tx = builder.station(StationConfig::sender(
+        Endpoint::station(2),
+        Point::feet(280.0, 0.0),
+        rx,
+    ));
+    let scenario = builder.build();
+    let mut result = scenario.run(tx, 2_000);
+    attach_tx_count(&mut result, rx, tx);
+    let trace = result.trace(rx).clone();
+    let expected = wavelan_analysis::ExpectedSeries {
+        src: Endpoint::station(2),
+        dst: Endpoint::station(1),
+        network_id: wavelan_mac::network_id::NetworkId::TESTBED,
+    };
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("classify_damaged_trace", |b| {
+        b.iter(|| wavelan_analysis::analyze(std::hint::black_box(&trace), &expected))
+    });
+    g.finish();
+    // keep rng linkage for potential extension
+    let _ = StdRng::seed_from_u64(0).gen::<u8>();
+}
+
+criterion_group!(benches, framing, modem, fec, link, sim, analysis_bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! One bench per paper artifact: times the regeneration of every table and
+//! figure at smoke scale. (Full-scale regeneration is the `repro` binary:
+//! `cargo run -p wavelan-bench --release --bin repro -- --scale paper`.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wavelan_core::experiments::{
+    adaptive_fec, body, competing, in_room, multiroom, narrowband, path_loss, signal_vs_error,
+    ss_phone, threshold, walls,
+};
+use wavelan_core::Scale;
+
+fn paper_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper");
+    g.sample_size(10);
+    let mut seed = 0u64;
+    let mut next = move || {
+        seed += 1;
+        seed
+    };
+    g.bench_function("table2_in_room", |b| {
+        b.iter(|| in_room::run(Scale::Smoke, next()))
+    });
+    g.bench_function("figure1_path_loss", |b| {
+        b.iter(|| path_loss::run(&[], 120, next()))
+    });
+    g.bench_function("table3_figure2_signal_vs_error", |b| {
+        b.iter(|| signal_vs_error::run(Scale::Smoke, next()))
+    });
+    g.bench_function("figure3_threshold", |b| {
+        b.iter(|| threshold::run(&[], 250, next()))
+    });
+    g.bench_function("table4_walls", |b| {
+        b.iter(|| walls::run(Scale::Smoke, next()))
+    });
+    g.bench_function("tables5_7_multiroom", |b| {
+        b.iter(|| multiroom::run(Scale::Smoke, next()))
+    });
+    g.bench_function("tables8_9_body", |b| {
+        b.iter(|| body::run(Scale::Smoke, next()))
+    });
+    g.bench_function("table10_narrowband", |b| {
+        b.iter(|| narrowband::run(Scale::Smoke, next()))
+    });
+    g.bench_function("tables11_13_ss_phone", |b| {
+        b.iter(|| ss_phone::run(Scale::Smoke, next()))
+    });
+    g.bench_function("table14_competing", |b| {
+        b.iter(|| competing::run(Scale::Smoke, next()))
+    });
+    g.bench_function("section8_adaptive_fec", |b| {
+        b.iter(|| adaptive_fec::run(Scale::Smoke, next()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, paper_tables);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro [--scale smoke|reduced|paper] [--seed N] [artifact ...]
+//! ```
+//!
+//! With no artifact arguments, everything is regenerated in paper order.
+//! Artifacts: `table2 figure1 table3 figure2 figure3 table4 table5-7 table8-9
+//! table10 table11-13 table14 fec`.
+
+use std::time::Instant;
+use wavelan_core::experiments::{
+    adaptive_fec, body, competing, harq, hidden_terminal, in_room, multiroom, narrowband,
+    path_loss, quality_threshold, related_work, signal_vs_error, ss_phone, tdma, threshold, walls,
+};
+use wavelan_core::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Reduced;
+    let mut seed = 1996u64;
+    let mut artifacts: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = match it.next().map(String::as_str) {
+                    Some("smoke") => Scale::Smoke,
+                    Some("reduced") => Scale::Reduced,
+                    Some("paper") => Scale::Paper,
+                    other => {
+                        eprintln!("unknown scale {other:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--seed" => {
+                seed = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed needs a number");
+                    std::process::exit(2);
+                })
+            }
+            "--help" | "-h" => {
+                println!(
+                    "repro [--scale smoke|reduced|paper] [--seed N] [artifact ...]\n\
+                     artifacts: table2 figure1 table3 figure2 figure3 table4 table5-7 \
+                     table8-9 table10 table11-13 table14 fec harq related-work tdma quality-threshold roaming hidden-terminal"
+                );
+                return;
+            }
+            name => artifacts.push(name.to_string()),
+        }
+    }
+    if artifacts.is_empty() {
+        artifacts = [
+            "table2",
+            "figure1",
+            "table3",
+            "figure2",
+            "figure3",
+            "table4",
+            "table5-7",
+            "table8-9",
+            "table10",
+            "table11-13",
+            "table14",
+            "fec",
+            "harq",
+            "related-work",
+            "tdma",
+            "quality-threshold",
+            "roaming",
+            "hidden-terminal",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    println!(
+        "# Reproduction of Eckhardt & Steenkiste, SIGCOMM '96 (scale {scale:?}, seed {seed})\n"
+    );
+    for artifact in &artifacts {
+        let start = Instant::now();
+        let output = match artifact.as_str() {
+            "table2" => in_room::run(scale, seed).render(),
+            "figure1" => path_loss::run(&[], scale.packets(1_440), seed).render(),
+            "table3" => signal_vs_error::run(scale, seed).render_table3(),
+            "figure2" => signal_vs_error::run(scale, seed).render_figure2(),
+            "figure3" => threshold::run(&[], scale.packets(1_440), seed).render(),
+            "table4" => walls::run(scale, seed).render(),
+            "table5-7" | "table5" | "table6" | "table7" => multiroom::run(scale, seed).render(),
+            "table8-9" | "table8" | "table9" => body::run(scale, seed).render(),
+            "table10" => narrowband::run(scale, seed).render(),
+            "table11-13" | "table11" | "table12" | "table13" => ss_phone::run(scale, seed).render(),
+            "table14" => competing::run(scale, seed).render(),
+            "fec" => adaptive_fec::run(scale, seed).render(),
+            "harq" => harq::run(scale, seed).render(),
+            "related-work" => related_work::run(scale.packets(1_440).min(800), seed).render(),
+            "tdma" => tdma::run(8, 500, seed).render(),
+            "quality-threshold" => quality_threshold::run(scale, seed).render(),
+            "hidden-terminal" => {
+                hidden_terminal::run(scale.packets(1_440).min(1_000), seed).render()
+            }
+            "roaming" => wavelan_cell::roaming::walk(
+                wavelan_cell::roaming::TwoCells {
+                    separation_ft: 200.0,
+                    threshold: 12,
+                },
+                20.0,
+                180.0,
+                17,
+                2_000,
+                seed,
+            )
+            .render(),
+            other => {
+                eprintln!("unknown artifact {other}");
+                continue;
+            }
+        };
+        println!("{output}");
+        println!("[{artifact}: {:.1}s]\n", start.elapsed().as_secs_f64());
+    }
+}

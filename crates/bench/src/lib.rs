@@ -1,0 +1,29 @@
+//! # wavelan-bench
+//!
+//! The reproduction harness: the `repro` binary regenerates every table and
+//! figure of the paper (`cargo run -p wavelan-bench --bin repro --release`),
+//! and the Criterion benches (`cargo bench`) measure the substrates and run
+//! the ablations called out in DESIGN.md.
+
+/// Names of all reproducible artifacts: the paper's tables and figures in
+/// paper order, then the extension experiments.
+pub const ARTIFACTS: [&str; 18] = [
+    "table2",
+    "figure1",
+    "table3",
+    "figure2",
+    "figure3",
+    "table4",
+    "table5-7",
+    "table8-9",
+    "table10",
+    "table11-13",
+    "table14",
+    "fec",
+    "harq",
+    "related-work",
+    "tdma",
+    "quality-threshold",
+    "roaming",
+    "hidden-terminal",
+];

@@ -1,0 +1,270 @@
+//! Border zones and hidden terminals.
+//!
+//! Section 7.4: "In most environments, cells will be separated by 'border
+//! zones' in which mobile clients will have poor performance and can easily
+//! disrupt communication in adjacent pseudo-cells. The reason is that hosts
+//! in the border zone can hear and be heard by hosts in multiple
+//! pseudo-cells, while the hosts in the different pseudo-cells cannot hear
+//! each other. ... This is a special case of the classical 'hidden
+//! transmitter' problem."
+//!
+//! [`map_border_zone`] walks a grid of candidate client positions and
+//! reports, for each, how many cells it couples to; [`find_hidden_terminals`]
+//! enumerates station pairs that cannot hear each other but share a victim.
+
+use wavelan_phy::agc::power_to_level_units;
+use wavelan_sim::{FloorPlan, Point, Propagation};
+
+/// Whether a client at a position couples to each cell.
+#[derive(Debug, Clone)]
+pub struct BorderPoint {
+    /// The client position.
+    pub pos: Point,
+    /// Cells whose members this client would hear / be heard by at the
+    /// cell's threshold.
+    pub coupled_cells: Vec<usize>,
+}
+
+impl BorderPoint {
+    /// In-border means coupled to two or more cells.
+    pub fn in_border_zone(&self) -> bool {
+        self.coupled_cells.len() >= 2
+    }
+
+    /// Orphaned means coupled to none (a dead zone).
+    pub fn orphaned(&self) -> bool {
+        self.coupled_cells.is_empty()
+    }
+}
+
+/// Aggregate result of a border-zone survey.
+#[derive(Debug, Clone)]
+pub struct BorderReport {
+    /// Every surveyed point.
+    pub points: Vec<BorderPoint>,
+}
+
+impl BorderReport {
+    /// Fraction of surveyed positions inside a border zone.
+    pub fn border_fraction(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().filter(|p| p.in_border_zone()).count() as f64 / self.points.len() as f64
+    }
+
+    /// Fraction of surveyed positions in no cell at all.
+    pub fn orphan_fraction(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().filter(|p| p.orphaned()).count() as f64 / self.points.len() as f64
+    }
+}
+
+/// Surveys a rectangular grid of client positions against cells described by
+/// `(member positions, cell threshold)`.
+///
+/// A client couples to a cell when its signal at *any* member reaches the
+/// cell's threshold (it would assert carrier / deliver packets there).
+pub fn map_border_zone(
+    cells: &[(Vec<Point>, u8)],
+    x_range_ft: (f64, f64),
+    y_range_ft: (f64, f64),
+    step_ft: f64,
+    prop: &Propagation,
+    plan: &FloorPlan,
+) -> BorderReport {
+    let mut points = Vec::new();
+    let mut x = x_range_ft.0;
+    while x <= x_range_ft.1 {
+        let mut y = y_range_ft.0;
+        while y <= y_range_ft.1 {
+            let pos = Point::feet(x, y);
+            let mut coupled = Vec::new();
+            for (cell_idx, (members, threshold)) in cells.iter().enumerate() {
+                let heard = members.iter().any(|m| {
+                    let level = power_to_level_units(prop.wavelan_rx_dbm(pos, *m, plan));
+                    level >= f64::from(*threshold)
+                });
+                if heard {
+                    coupled.push(cell_idx);
+                }
+            }
+            points.push(BorderPoint {
+                pos,
+                coupled_cells: coupled,
+            });
+            y += step_ft;
+        }
+        x += step_ft;
+    }
+    BorderReport { points }
+}
+
+/// A hidden-terminal configuration: `a` and `b` cannot hear each other, but
+/// both reach `victim` — so their transmissions can collide at the victim
+/// without carrier sense ever firing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HiddenTerminalPair {
+    /// First transmitter (station index).
+    pub a: usize,
+    /// Second transmitter (station index).
+    pub b: usize,
+    /// The station both reach.
+    pub victim: usize,
+}
+
+/// Finds all hidden-terminal triples among `stations`, where "hear" means
+/// signal level ≥ `threshold`.
+pub fn find_hidden_terminals(
+    stations: &[Point],
+    threshold: u8,
+    prop: &Propagation,
+    plan: &FloorPlan,
+) -> Vec<HiddenTerminalPair> {
+    let hears = |i: usize, j: usize| {
+        power_to_level_units(prop.wavelan_rx_dbm(stations[i], stations[j], plan))
+            >= f64::from(threshold)
+    };
+    let n = stations.len();
+    let mut out = Vec::new();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if hears(a, b) {
+                continue; // they coordinate via carrier sense
+            }
+            for victim in 0..n {
+                if victim != a && victim != b && hears(a, victim) && hears(b, victim) {
+                    out.push(HiddenTerminalPair { a, b, victim });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prop() -> Propagation {
+        let mut p = Propagation::indoor(0);
+        p.shadowing_sigma_db = 0.0;
+        p
+    }
+
+    #[test]
+    fn midpoint_between_cells_is_border() {
+        // Two cells 150 ft apart with thresholds that each cover ~80 ft:
+        // the middle hears both.
+        let cells = vec![
+            (vec![Point::feet(0.0, 0.0)], 10u8),
+            (vec![Point::feet(150.0, 0.0)], 10u8),
+        ];
+        let report = map_border_zone(
+            &cells,
+            (0.0, 150.0),
+            (0.0, 0.0),
+            10.0,
+            &prop(),
+            &FloorPlan::open(),
+        );
+        assert!(
+            report.border_fraction() > 0.1,
+            "{}",
+            report.border_fraction()
+        );
+        // The exact midpoint must be in the border zone.
+        let mid = report
+            .points
+            .iter()
+            .find(|p| (p.pos.distance_feet(Point::feet(70.0, 0.0))) < 1.0)
+            .unwrap();
+        assert!(mid.in_border_zone(), "{mid:?}");
+        // Positions right next to a cell are coupled to at least that cell.
+        assert!(!report.points.first().unwrap().orphaned());
+    }
+
+    #[test]
+    fn high_thresholds_shrink_the_border_but_open_dead_zones() {
+        let cells_lo = vec![
+            (vec![Point::feet(0.0, 0.0)], 10u8),
+            (vec![Point::feet(150.0, 0.0)], 10u8),
+        ];
+        let cells_hi = vec![
+            (vec![Point::feet(0.0, 0.0)], 22u8),
+            (vec![Point::feet(150.0, 0.0)], 22u8),
+        ];
+        let p = prop();
+        let plan = FloorPlan::open();
+        let lo = map_border_zone(&cells_lo, (0.0, 150.0), (0.0, 0.0), 5.0, &p, &plan);
+        let hi = map_border_zone(&cells_hi, (0.0, 150.0), (0.0, 0.0), 5.0, &p, &plan);
+        assert!(hi.border_fraction() < lo.border_fraction());
+        assert!(hi.orphan_fraction() > lo.orphan_fraction());
+    }
+
+    #[test]
+    fn classic_hidden_terminal_line() {
+        // A — victim — B with A and B out of each other's range: the
+        // textbook (and Section 7.4) configuration.
+        let stations = vec![
+            Point::feet(0.0, 0.0),
+            Point::feet(80.0, 0.0),
+            Point::feet(160.0, 0.0),
+        ];
+        // At threshold 12: 80 ft is audible, 160 ft is not.
+        let pairs = find_hidden_terminals(&stations, 12, &prop(), &FloorPlan::open());
+        assert_eq!(
+            pairs,
+            vec![HiddenTerminalPair {
+                a: 0,
+                b: 2,
+                victim: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn close_stations_have_no_hidden_terminals() {
+        let stations = vec![
+            Point::feet(0.0, 0.0),
+            Point::feet(10.0, 0.0),
+            Point::feet(20.0, 0.0),
+        ];
+        let pairs = find_hidden_terminals(&stations, 3, &prop(), &FloorPlan::open());
+        assert!(pairs.is_empty(), "{pairs:?}");
+    }
+
+    #[test]
+    fn walls_create_hidden_terminals() {
+        // Stations in adjacent rooms both reach a victim in the doorway
+        // region, but heavy walls keep them from hearing each other.
+        let stations = vec![
+            Point::feet(0.0, 0.0),
+            Point::feet(30.0, 0.0),
+            Point::feet(60.0, 0.0),
+        ];
+        let floor = FloorPlan::open()
+            .with_wall(
+                wavelan_sim::Segment::feet(15.0, -20.0, 15.0, 20.0),
+                wavelan_phy::Material::Metal,
+            )
+            .with_wall(
+                wavelan_sim::Segment::feet(45.0, -20.0, 45.0, 20.0),
+                wavelan_phy::Material::Metal,
+            );
+        // Pick a threshold where the two outer stations (through two metal
+        // walls) cannot hear each other but each reaches the center (one
+        // wall).
+        let pairs = find_hidden_terminals(&stations, 11, &prop(), &floor);
+        assert!(
+            pairs.contains(&HiddenTerminalPair {
+                a: 0,
+                b: 2,
+                victim: 1
+            }),
+            "{pairs:?}"
+        );
+    }
+}

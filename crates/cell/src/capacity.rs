@@ -1,0 +1,201 @@
+//! Aggregate throughput under carrier-sense coupling.
+//!
+//! Section 7.4: "if a mobile host in the border zone communicates with a
+//! host in a cell, the carrier will be sensed in other cells, thus
+//! preventing communication in those other cells and reducing overall
+//! throughput."
+//!
+//! Model: cells are vertices; an edge joins two cells whose transmissions
+//! assert carrier sense in each other. At any instant the set of
+//! concurrently transmitting cells must be an independent set of that
+//! coupling graph, so the spatial-reuse capacity of the deployment is the
+//! *maximum* independent set size. Deployments are small (a building's worth
+//! of cells), so we compute it exactly with a bitmask search.
+
+/// Maximum number of cells the exact solver accepts.
+pub const MAX_CELLS: usize = 24;
+
+/// A symmetric coupling graph over `n` cells, adjacency as bitmasks.
+#[derive(Debug, Clone)]
+pub struct CouplingGraph {
+    n: usize,
+    adj: Vec<u32>,
+}
+
+impl CouplingGraph {
+    /// An edgeless graph (fully independent cells).
+    pub fn new(n: usize) -> CouplingGraph {
+        assert!(n <= MAX_CELLS, "exact solver limited to {MAX_CELLS} cells");
+        CouplingGraph { n, adj: vec![0; n] }
+    }
+
+    /// Marks cells `a` and `b` as carrier-coupled.
+    pub fn couple(&mut self, a: usize, b: usize) {
+        assert!(a != b && a < self.n && b < self.n);
+        self.adj[a] |= 1 << b;
+        self.adj[b] |= 1 << a;
+    }
+
+    /// Whether `a` and `b` are coupled.
+    pub fn coupled(&self, a: usize, b: usize) -> bool {
+        self.adj[a] & (1 << b) != 0
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the graph has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Exact maximum independent set size (branch and bound on bitmasks).
+    pub fn max_independent_set(&self) -> usize {
+        fn solve(graph: &CouplingGraph, candidates: u32, current: usize, best: &mut usize) {
+            if candidates == 0 {
+                *best = (*best).max(current);
+                return;
+            }
+            // Bound: even taking every candidate can't beat best.
+            if current + candidates.count_ones() as usize <= *best {
+                return;
+            }
+            let v = candidates.trailing_zeros() as usize;
+            // Branch 1: take v (drop v and its neighbours).
+            solve(
+                graph,
+                candidates & !(1 << v) & !graph.adj[v],
+                current + 1,
+                best,
+            );
+            // Branch 2: skip v.
+            solve(graph, candidates & !(1 << v), current, best);
+        }
+        let mut best = 0;
+        let all = if self.n == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.n) - 1
+        };
+        solve(self, all, 0, &mut best);
+        best
+    }
+}
+
+/// Spatial-reuse throughput of a deployment: the number of cells that can
+/// transmit simultaneously (each cell contributing one channel's worth),
+/// as a fraction of the cell count. 1.0 = perfect isolation; 1/n = a single
+/// collision domain.
+pub fn coupling_throughput(graph: &CouplingGraph) -> f64 {
+    if graph.is_empty() {
+        return 0.0;
+    }
+    graph.max_independent_set() as f64 / graph.len() as f64
+}
+
+/// Builds the coupling graph of a deployment from cell member positions and
+/// thresholds: cells couple when any member of one asserts carrier sense at
+/// any member of the other.
+pub fn coupling_from_geometry(
+    cells: &[(Vec<wavelan_sim::Point>, u8)],
+    prop: &wavelan_sim::Propagation,
+    plan: &wavelan_sim::FloorPlan,
+) -> CouplingGraph {
+    let mut g = CouplingGraph::new(cells.len());
+    for a in 0..cells.len() {
+        for b in (a + 1)..cells.len() {
+            let (members_a, _) = &cells[a];
+            let (members_b, threshold_b) = &cells[b];
+            let (_, threshold_a) = &cells[a];
+            let couples = members_a.iter().any(|pa| {
+                members_b.iter().any(|pb| {
+                    let level_ab =
+                        wavelan_phy::agc::power_to_level_units(prop.wavelan_rx_dbm(*pa, *pb, plan));
+                    let level_ba =
+                        wavelan_phy::agc::power_to_level_units(prop.wavelan_rx_dbm(*pb, *pa, plan));
+                    level_ab >= f64::from(*threshold_b) || level_ba >= f64::from(*threshold_a)
+                })
+            });
+            if couples {
+                g.couple(a, b);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavelan_sim::{FloorPlan, Point, Propagation};
+
+    #[test]
+    fn independent_cells_have_full_throughput() {
+        let g = CouplingGraph::new(5);
+        assert_eq!(g.max_independent_set(), 5);
+        assert_eq!(coupling_throughput(&g), 1.0);
+    }
+
+    #[test]
+    fn fully_coupled_cells_serialize() {
+        let mut g = CouplingGraph::new(4);
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                g.couple(a, b);
+            }
+        }
+        assert_eq!(g.max_independent_set(), 1);
+        assert_eq!(coupling_throughput(&g), 0.25);
+    }
+
+    #[test]
+    fn path_graph_alternates() {
+        // 0—1—2—3—4: MIS = {0,2,4} = 3.
+        let mut g = CouplingGraph::new(5);
+        for i in 0..4 {
+            g.couple(i, i + 1);
+        }
+        assert_eq!(g.max_independent_set(), 3);
+    }
+
+    #[test]
+    fn cycle_of_five() {
+        // C5: MIS = 2.
+        let mut g = CouplingGraph::new(5);
+        for i in 0..5 {
+            g.couple(i, (i + 1) % 5);
+        }
+        assert_eq!(g.max_independent_set(), 2);
+    }
+
+    #[test]
+    fn coupled_query() {
+        let mut g = CouplingGraph::new(3);
+        g.couple(0, 2);
+        assert!(g.coupled(0, 2));
+        assert!(g.coupled(2, 0));
+        assert!(!g.coupled(0, 1));
+    }
+
+    #[test]
+    fn geometry_coupling_matches_distance() {
+        let mut prop = Propagation::indoor(0);
+        prop.shadowing_sigma_db = 0.0;
+        let plan = FloorPlan::open();
+        // Three cells in a row, 100 ft apart, threshold 12 (≈ audible to
+        // ~110 ft): neighbours couple, far ends don't.
+        let cells = vec![
+            (vec![Point::feet(0.0, 0.0)], 12u8),
+            (vec![Point::feet(100.0, 0.0)], 12u8),
+            (vec![Point::feet(200.0, 0.0)], 12u8),
+        ];
+        let g = coupling_from_geometry(&cells, &prop, &plan);
+        assert!(g.coupled(0, 1));
+        assert!(g.coupled(1, 2));
+        assert!(!g.coupled(0, 2));
+        assert_eq!(g.max_independent_set(), 2);
+        assert!((coupling_throughput(&g) - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,212 @@
+//! The paper's Section 8 extensions, quantified: transmit power control and
+//! multiple spreading sequences (CDMA).
+//!
+//! > "a WaveLAN-like device including multiple spreading sequences for sharp
+//! > cell boundaries and transmitter power control to reduce unnecessary
+//! > interference seems plausible, and would allow the construction of truly
+//! > cellular networks. ... it is difficult to construct large sequence
+//! > families which simultaneously have low self-correlation and low
+//! > cross-correlation, and the effect of higher correlation would be more
+//! > errors"
+//!
+//! [`required_eirp_dbm`] and [`interference_radius_ft`] quantify how much
+//! power control shrinks a transmitter's interference footprint;
+//! [`evaluate_family`] quantifies the cross-correlation error floor of a
+//! pseudo-random code family — exactly the trade-off the quote describes.
+
+use wavelan_phy::agc::{level_units_to_dbm, power_to_level_units};
+use wavelan_phy::math::{db_to_linear, linear_to_db};
+use wavelan_phy::modulation::dqpsk_ber;
+use wavelan_phy::spreading::{cross_correlation, SpreadingCode};
+use wavelan_sim::propagation::SYSTEM_LOSS_DB;
+use wavelan_sim::{FloorPlan, Point, Propagation};
+
+/// The EIRP (dBm, *before* the lumped system loss) a transmitter needs for
+/// its signal to arrive at `to` with the given AGC level.
+pub fn required_eirp_dbm(
+    from: Point,
+    to: Point,
+    prop: &Propagation,
+    plan: &FloorPlan,
+    target_level_units: f64,
+) -> f64 {
+    // Path loss experienced at reference power:
+    let at_full = prop.received_power_dbm(0.0, from, to, plan); // loss ≡ −at_full
+    level_units_to_dbm(target_level_units) - at_full
+}
+
+/// The open-space distance (feet) at which a transmitter of the given EIRP
+/// still asserts carrier sense at `sense_level_units` — its interference
+/// footprint radius. Solved by bisection on the monotone path-loss curve.
+pub fn interference_radius_ft(eirp_dbm: f64, sense_level_units: f64, prop: &Propagation) -> f64 {
+    let plan = FloorPlan::open();
+    let origin = Point::new(0.0, 0.0);
+    let level_at = |d_ft: f64| {
+        power_to_level_units(prop.received_power_dbm(
+            eirp_dbm - SYSTEM_LOSS_DB,
+            origin,
+            Point::feet(d_ft.max(0.01), 0.0),
+            &plan,
+        ))
+    };
+    if level_at(0.1) < sense_level_units {
+        return 0.0;
+    }
+    let (mut lo, mut hi) = (0.1, 10_000.0);
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if level_at(mid) >= sense_level_units {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Cross-correlation properties of a spreading-code family and the error
+/// floor they imply for CDMA operation.
+#[derive(Debug, Clone)]
+pub struct CdmaFamilyReport {
+    /// Number of codes.
+    pub codes: usize,
+    /// Chips per code.
+    pub chip_len: usize,
+    /// Largest |cross-correlation| over distinct pairs.
+    pub worst_cross: f64,
+    /// Mean cross-correlation *power* (xc²) over distinct pairs.
+    pub mean_cross_power: f64,
+}
+
+impl CdmaFamilyReport {
+    /// Post-despreading SINR (dB) for a victim whose cell hears `k`
+    /// equal-power same-band transmitters using other codes of this family.
+    /// Infinite when k = 0.
+    pub fn sinr_floor_db(&self, k: usize) -> f64 {
+        if k == 0 {
+            return f64::INFINITY;
+        }
+        linear_to_db(1.0 / (k as f64 * self.mean_cross_power))
+    }
+
+    /// Estimated DQPSK BER floor at `k` equal-power cross-code interferers,
+    /// using the workspace's bandwidth gain between SNR and Eb/N0.
+    pub fn ber_floor(&self, k: usize) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        let ebn0_db = self.sinr_floor_db(k) + wavelan_phy::link::BANDWIDTH_GAIN_DB;
+        dqpsk_ber(db_to_linear(ebn0_db))
+    }
+}
+
+/// Generates and measures a pseudo-random ±1 code family.
+pub fn evaluate_family(count: usize, chip_len: usize, seed: u64) -> CdmaFamilyReport {
+    let family = SpreadingCode::family(count, chip_len, seed);
+    let mut worst: f64 = 0.0;
+    let mut sum_power = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..family.len() {
+        for j in (i + 1)..family.len() {
+            let xc = cross_correlation(&family[i], &family[j]);
+            worst = worst.max(xc.abs());
+            sum_power += xc * xc;
+            pairs += 1;
+        }
+    }
+    CdmaFamilyReport {
+        codes: count,
+        chip_len,
+        worst_cross: worst,
+        mean_cross_power: if pairs == 0 {
+            0.0
+        } else {
+            sum_power / pairs as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavelan_phy::TX_POWER_DBM;
+
+    fn prop() -> Propagation {
+        let mut p = Propagation::indoor(0);
+        p.shadowing_sigma_db = 0.0;
+        p
+    }
+
+    #[test]
+    fn required_power_hits_the_target_level() {
+        let p = prop();
+        let plan = FloorPlan::open();
+        let from = Point::feet(0.0, 0.0);
+        let to = Point::feet(40.0, 0.0);
+        let eirp = required_eirp_dbm(from, to, &p, &plan, 15.0);
+        let achieved = power_to_level_units(p.received_power_dbm(eirp, from, to, &plan));
+        assert!((achieved - 15.0).abs() < 1e-6, "{achieved}");
+        // Much less than full power is needed at 40 ft.
+        assert!(eirp < TX_POWER_DBM - SYSTEM_LOSS_DB, "{eirp}");
+    }
+
+    #[test]
+    fn power_control_shrinks_the_interference_footprint() {
+        let p = prop();
+        let plan = FloorPlan::open();
+        let from = Point::feet(0.0, 0.0);
+        let to = Point::feet(20.0, 0.0);
+        // Full power vs just-enough power for a level-12 link at 20 ft.
+        let full_radius = interference_radius_ft(TX_POWER_DBM, 5.0, &p);
+        let controlled = required_eirp_dbm(from, to, &p, &plan, 12.0) + SYSTEM_LOSS_DB;
+        let controlled_radius = interference_radius_ft(controlled, 5.0, &p);
+        assert!(
+            controlled_radius < full_radius / 2.5,
+            "controlled {controlled_radius} vs full {full_radius}"
+        );
+        // The controlled footprint still covers the intended receiver.
+        assert!(controlled_radius > 20.0, "{controlled_radius}");
+    }
+
+    #[test]
+    fn interference_radius_monotone_in_power() {
+        let p = prop();
+        let r_lo = interference_radius_ft(-20.0, 5.0, &p);
+        let r_hi = interference_radius_ft(0.0, 5.0, &p);
+        assert!(r_hi > r_lo);
+        // Absurdly weak transmitter: zero footprint.
+        assert_eq!(interference_radius_ft(-200.0, 5.0, &p), 0.0);
+    }
+
+    #[test]
+    fn short_code_families_leak() {
+        // 11-chip random families have substantial cross-correlation — the
+        // paper's "difficult to construct" point.
+        let report = evaluate_family(8, 11, 42);
+        assert!(report.worst_cross > 0.2, "{report:?}");
+        // Mean cross power near the 1/N theory value for random codes.
+        assert!(
+            (report.mean_cross_power - 1.0 / 11.0).abs() < 0.08,
+            "{}",
+            report.mean_cross_power
+        );
+    }
+
+    #[test]
+    fn longer_codes_suppress_better() {
+        let short = evaluate_family(8, 11, 1);
+        let long = evaluate_family(8, 127, 1);
+        assert!(long.mean_cross_power < short.mean_cross_power / 4.0);
+        assert!(long.sinr_floor_db(4) > short.sinr_floor_db(4) + 6.0);
+    }
+
+    #[test]
+    fn ber_floor_grows_with_interferers() {
+        let report = evaluate_family(8, 31, 3);
+        assert_eq!(report.ber_floor(0), 0.0);
+        let b1 = report.ber_floor(1);
+        let b4 = report.ber_floor(4);
+        assert!(b4 > b1, "{b1} vs {b4}");
+        assert!(report.sinr_floor_db(0).is_infinite());
+    }
+}

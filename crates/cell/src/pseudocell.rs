@@ -1,0 +1,242 @@
+//! Receive-threshold cell planning.
+//!
+//! Given stations clustered into intended cells, compute the signal-level
+//! matrix between all stations and decide whether receive thresholds can
+//! isolate the cells:
+//!
+//! * every in-cell link must clear the chosen threshold comfortably (or the
+//!   cell's own traffic gets filtered),
+//! * every out-of-cell signal must fall short of it by a safety margin —
+//!   Section 6.2: "the difference in average signal level for senders inside
+//!   and outside of the cell should be at least 6, although 8-10 would be
+//!   more desirable".
+
+use wavelan_phy::agc::power_to_level_units;
+use wavelan_sim::{FloorPlan, Point, Propagation};
+
+/// The margin Section 6.2 calls the minimum workable separation.
+pub const MIN_MARGIN_UNITS: f64 = 6.0;
+/// The margin Section 6.2 calls desirable.
+pub const DESIRABLE_MARGIN_UNITS: f64 = 8.0;
+
+/// A station-to-cell assignment to evaluate.
+#[derive(Debug, Clone)]
+pub struct CellPlan {
+    /// Station positions.
+    pub stations: Vec<Point>,
+    /// `cells[i]` = cell index of station `i`.
+    pub cells: Vec<usize>,
+}
+
+/// Per-cell evaluation of a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellVerdict {
+    /// Cell index.
+    pub cell: usize,
+    /// Weakest in-cell link level (what the threshold must stay below).
+    pub weakest_internal: f64,
+    /// Strongest out-of-cell signal heard by any member (what the threshold
+    /// must stay above).
+    pub strongest_external: f64,
+    /// `weakest_internal − strongest_external`.
+    pub margin: f64,
+    /// A workable threshold (midpoint), when one exists.
+    pub threshold: Option<u8>,
+}
+
+/// Whole-plan verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanVerdict {
+    /// Per-cell results.
+    pub cells: Vec<CellVerdict>,
+}
+
+impl PlanVerdict {
+    /// True when every cell has at least the Section 6.2 minimum margin.
+    pub fn feasible(&self) -> bool {
+        self.cells.iter().all(|c| c.margin >= MIN_MARGIN_UNITS)
+    }
+
+    /// True when every cell has the desirable margin.
+    pub fn comfortable(&self) -> bool {
+        self.cells
+            .iter()
+            .all(|c| c.margin >= DESIRABLE_MARGIN_UNITS)
+    }
+
+    /// The tightest cell margin.
+    pub fn worst_margin(&self) -> f64 {
+        self.cells
+            .iter()
+            .map(|c| c.margin)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+impl CellPlan {
+    /// Signal level (in AGC units) from station `i` to station `j`.
+    fn level(&self, i: usize, j: usize, prop: &Propagation, plan: &FloorPlan) -> f64 {
+        power_to_level_units(prop.wavelan_rx_dbm(self.stations[i], self.stations[j], plan))
+    }
+
+    /// Evaluates the plan under a propagation model and floor plan.
+    pub fn evaluate(&self, prop: &Propagation, plan: &FloorPlan) -> PlanVerdict {
+        assert_eq!(
+            self.stations.len(),
+            self.cells.len(),
+            "one cell index per station"
+        );
+        let n_cells = self.cells.iter().copied().max().map_or(0, |m| m + 1);
+        let mut verdicts = Vec::with_capacity(n_cells);
+        for cell in 0..n_cells {
+            let members: Vec<usize> = (0..self.stations.len())
+                .filter(|&i| self.cells[i] == cell)
+                .collect();
+            let mut weakest_internal = f64::INFINITY;
+            let mut strongest_external = f64::NEG_INFINITY;
+            for &m in &members {
+                for other in 0..self.stations.len() {
+                    if other == m {
+                        continue;
+                    }
+                    let level = self.level(other, m, prop, plan);
+                    if self.cells[other] == cell {
+                        weakest_internal = weakest_internal.min(level);
+                    } else {
+                        strongest_external = strongest_external.max(level);
+                    }
+                }
+            }
+            // Degenerate cells: a single isolated station has no internal
+            // links (threshold only needs to beat outsiders), and a plan
+            // with one cell has no external signals.
+            if weakest_internal.is_infinite() {
+                weakest_internal = f64::from(wavelan_phy::agc::MAX_LEVEL);
+            }
+            if strongest_external.is_infinite() {
+                strongest_external = 0.0;
+            }
+            let margin = weakest_internal - strongest_external;
+            let threshold = if margin >= MIN_MARGIN_UNITS {
+                // Sit just above the outsiders, leaving the bulk of the
+                // margin as headroom against per-packet level jitter.
+                Some((strongest_external + 3.0).ceil().clamp(0.0, 63.0) as u8)
+            } else {
+                None
+            };
+            verdicts.push(CellVerdict {
+                cell,
+                weakest_internal,
+                strongest_external,
+                margin,
+                threshold,
+            });
+        }
+        PlanVerdict { cells: verdicts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavelan_phy::Material;
+    use wavelan_sim::Segment;
+
+    fn no_shadow_prop() -> Propagation {
+        let mut p = Propagation::indoor(0);
+        p.shadowing_sigma_db = 0.0;
+        p
+    }
+
+    /// Two tight clusters 120 ft apart: the geometry the paper says *does*
+    /// work ("clustered with significant signal attenuation between
+    /// clusters", Section 5.3).
+    fn far_clusters() -> CellPlan {
+        CellPlan {
+            stations: vec![
+                Point::feet(0.0, 0.0),
+                Point::feet(8.0, 0.0),
+                Point::feet(120.0, 0.0),
+                Point::feet(128.0, 0.0),
+            ],
+            cells: vec![0, 0, 1, 1],
+        }
+    }
+
+    #[test]
+    fn distant_clusters_are_isolable() {
+        let verdict = far_clusters().evaluate(&no_shadow_prop(), &FloorPlan::open());
+        assert!(verdict.feasible(), "{verdict:?}");
+        assert!(verdict.comfortable(), "{verdict:?}");
+        for c in &verdict.cells {
+            let t = c.threshold.expect("threshold exists");
+            assert!(f64::from(t) > c.strongest_external);
+            assert!(f64::from(t) < c.weakest_internal);
+        }
+    }
+
+    #[test]
+    fn single_wall_is_not_a_cell_boundary() {
+        // Section 6.2: "it seems unlikely that there are many cases where a
+        // single building wall can be pressed into service as a cell
+        // boundary". Two offices side by side, one concrete wall between.
+        let plan = CellPlan {
+            stations: vec![
+                Point::feet(0.0, 0.0),
+                Point::feet(8.0, 0.0),
+                Point::feet(16.0, 0.0),
+                Point::feet(24.0, 0.0),
+            ],
+            cells: vec![0, 0, 1, 1],
+        };
+        let floor = FloorPlan::open().with_wall(
+            Segment::feet(12.0, -20.0, 12.0, 20.0),
+            Material::ConcreteBlock,
+        );
+        let verdict = plan.evaluate(&no_shadow_prop(), &floor);
+        assert!(
+            !verdict.feasible(),
+            "a 2-unit wall must not isolate: {verdict:?}"
+        );
+    }
+
+    #[test]
+    fn multiple_walls_do_isolate() {
+        // The same offices separated by three plaster walls: 15 units of
+        // attenuation makes a real boundary.
+        let plan = CellPlan {
+            stations: vec![
+                Point::feet(0.0, 0.0),
+                Point::feet(8.0, 0.0),
+                Point::feet(26.0, 0.0),
+                Point::feet(34.0, 0.0),
+            ],
+            cells: vec![0, 0, 1, 1],
+        };
+        let mut floor = FloorPlan::open();
+        for x in [12.0, 16.0, 20.0] {
+            floor = floor.with_wall(Segment::feet(x, -20.0, x, 20.0), Material::PlasterWireMesh);
+        }
+        let verdict = plan.evaluate(&no_shadow_prop(), &floor);
+        assert!(verdict.feasible(), "{verdict:?}");
+    }
+
+    #[test]
+    fn margin_accounting_is_symmetric_free_space() {
+        let verdict = far_clusters().evaluate(&no_shadow_prop(), &FloorPlan::open());
+        // Symmetric geometry → both cells see the same margin.
+        assert!((verdict.cells[0].margin - verdict.cells[1].margin).abs() < 1e-6);
+        assert_eq!(verdict.worst_margin(), verdict.cells[0].margin);
+    }
+
+    #[test]
+    fn single_cell_plan_is_trivially_feasible() {
+        let plan = CellPlan {
+            stations: vec![Point::feet(0.0, 0.0), Point::feet(10.0, 0.0)],
+            cells: vec![0, 0],
+        };
+        let verdict = plan.evaluate(&no_shadow_prop(), &FloorPlan::open());
+        assert!(verdict.feasible());
+        assert_eq!(verdict.cells.len(), 1);
+    }
+}

@@ -1,0 +1,284 @@
+//! A mobile client crossing between pseudo-cells: the disruption the paper
+//! predicts, measured.
+//!
+//! Section 7.4: "if a mobile host in the border zone communicates with a
+//! host in a cell, the carrier will be sensed in other cells, thus
+//! preventing communication in those other cells and reducing overall
+//! throughput. Second, ... a mobile host in the border zone may receive
+//! badly damaged packets."
+//!
+//! [`walk`] steps a client along a path between two threshold-isolated
+//! cells. At every position it runs a short trial in which the client sends
+//! to its best-heard base while the *other* cell runs its own internal
+//! traffic, and measures:
+//!
+//! * the client's own delivery rate (handoff performance), and
+//! * the other cell's internal throughput relative to a client-free baseline
+//!   (the carrier-sense disruption footprint).
+
+use wavelan_mac::Thresholds;
+use wavelan_net::testpkt::Endpoint;
+use wavelan_phy::agc::power_to_level_units;
+use wavelan_sim::station::Traffic;
+use wavelan_sim::{FloorPlan, Point, Propagation, ScenarioBuilder, StationConfig};
+
+/// One step of the walk.
+#[derive(Debug, Clone, Copy)]
+pub struct RoamStep {
+    /// Client position, feet along the path (x coordinate).
+    pub x_ft: f64,
+    /// Which cell's base the client associated with (best heard).
+    pub serving_cell: usize,
+    /// Level from the client to the serving base.
+    pub serving_level: f64,
+    /// Fraction of the client's packets its base received.
+    pub client_delivery: f64,
+    /// The *other* cell's internal throughput, normalized to its
+    /// client-free baseline (1.0 = undisturbed).
+    pub other_cell_throughput: f64,
+}
+
+/// Result of the walk.
+#[derive(Debug, Clone)]
+pub struct RoamReport {
+    /// Steps in path order.
+    pub steps: Vec<RoamStep>,
+}
+
+impl RoamReport {
+    /// Positions where the other cell lost more than `frac` of its
+    /// throughput to the roamer — the disruption footprint, feet.
+    pub fn disruption_zone(&self, frac: f64) -> Vec<f64> {
+        self.steps
+            .iter()
+            .filter(|s| s.other_cell_throughput < 1.0 - frac)
+            .map(|s| s.x_ft)
+            .collect()
+    }
+
+    /// Positions where the client itself delivered poorly (< 90%).
+    pub fn dead_zone(&self) -> Vec<f64> {
+        self.steps
+            .iter()
+            .filter(|s| s.client_delivery < 0.9)
+            .map(|s| s.x_ft)
+            .collect()
+    }
+
+    /// Renders the walk.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Roaming client between two pseudo-cells (Section 7.4's border zone)\n\
+             pos    cell  level  client-delivery  other-cell-throughput\n",
+        );
+        for s in &self.steps {
+            out.push_str(&format!(
+                "{:>4.0}ft  {:>3} {:>6.1} {:>14.0}% {:>18.0}%\n",
+                s.x_ft,
+                s.serving_cell,
+                s.serving_level,
+                s.client_delivery * 100.0,
+                s.other_cell_throughput * 100.0
+            ));
+        }
+        out
+    }
+}
+
+/// The fixed geometry: two cells, each a base + one member station, with
+/// the bases `separation_ft` apart on the x axis.
+#[derive(Debug, Clone, Copy)]
+pub struct TwoCells {
+    /// Distance between the two bases, feet.
+    pub separation_ft: f64,
+    /// Receive/carrier threshold both cells run.
+    pub threshold: u8,
+}
+
+impl TwoCells {
+    /// Base position of cell `i` (0 or 1).
+    fn base(&self, i: usize) -> Point {
+        Point::feet(if i == 0 { 0.0 } else { self.separation_ft }, 0.0)
+    }
+
+    /// Member position of cell `i` (8 ft from its base).
+    fn member(&self, i: usize) -> Point {
+        Point::feet(
+            if i == 0 {
+                8.0
+            } else {
+                self.separation_ft - 8.0
+            },
+            4.0,
+        )
+    }
+}
+
+/// Measures cell 1's internal throughput without any roamer over a fixed
+/// duration, as the normalization baseline (delivered packet count). Both
+/// the baseline and the walk trials use *saturating* senders over the same
+/// duration, so the counts compare airtime head-on.
+fn baseline_cell1(cells: TwoCells, duration_ns: u64, seed: u64, prop: &Propagation) -> u64 {
+    let mut b = ScenarioBuilder::new(seed);
+    let thresholds = Thresholds {
+        receive_level: cells.threshold,
+        quality: 1,
+    };
+    let base1 = b.station(StationConfig {
+        thresholds,
+        ..StationConfig::receiver(Endpoint::station(11), cells.base(1))
+    });
+    let mut member = StationConfig::sender(Endpoint::station(12), cells.member(1), base1);
+    member.thresholds = thresholds;
+    member.traffic = Traffic::Saturate { peer: base1 };
+    let member1 = b.station(member);
+    let mut scenario = b.build();
+    scenario.propagation = prop.clone();
+    let result = scenario.run_for(duration_ns);
+    result.traces[base1]
+        .as_ref()
+        .map(|t| {
+            t.records
+                .iter()
+                .filter(|r| r.truth.unwrap().src_station == member1)
+                .count() as u64
+        })
+        .unwrap_or(0)
+}
+
+/// Walks the client from `x_start_ft` to `x_end_ft` in `steps` steps. Each
+/// step runs `trial_ms` of saturated traffic.
+pub fn walk(
+    cells: TwoCells,
+    x_start_ft: f64,
+    x_end_ft: f64,
+    steps: usize,
+    trial_ms: u64,
+    seed: u64,
+) -> RoamReport {
+    let duration_ns = trial_ms * 1_000_000;
+    let mut prop = Propagation::indoor(seed);
+    prop.shadowing_sigma_db = 0.0; // the walk wants the deterministic field
+    let plan = FloorPlan::open();
+    let baseline = baseline_cell1(cells, duration_ns, seed ^ 0xBA5E, &prop).max(1);
+
+    let mut out = Vec::with_capacity(steps);
+    for i in 0..steps {
+        let x = x_start_ft + (x_end_ft - x_start_ft) * i as f64 / (steps - 1).max(1) as f64;
+        let client_pos = Point::feet(x, 2.0);
+        // Associate with the best-heard base.
+        let levels: Vec<f64> = (0..2)
+            .map(|c| power_to_level_units(prop.wavelan_rx_dbm(client_pos, cells.base(c), &plan)))
+            .collect();
+        let serving = if levels[0] >= levels[1] { 0 } else { 1 };
+
+        let thresholds = Thresholds {
+            receive_level: cells.threshold,
+            quality: 1,
+        };
+        let mut b = ScenarioBuilder::new(seed.wrapping_add(i as u64));
+        // Serving base (traced receiver).
+        let serving_base = b.station(StationConfig {
+            thresholds,
+            ..StationConfig::receiver(Endpoint::station(1), cells.base(serving))
+        });
+        // The client, saturating toward its base.
+        let mut client = StationConfig::sender(Endpoint::station(2), client_pos, serving_base);
+        client.thresholds = thresholds;
+        client.traffic = Traffic::Saturate { peer: serving_base };
+        let client_id = b.station(client);
+        // The *other* cell's internal pair (traced receiver + sender).
+        let other = 1 - serving;
+        let other_base = b.station(StationConfig {
+            thresholds,
+            ..StationConfig::receiver(Endpoint::foreign(11), cells.base(other))
+        });
+        let mut other_member =
+            StationConfig::sender(Endpoint::foreign(12), cells.member(other), other_base);
+        other_member.thresholds = thresholds;
+        other_member.traffic = Traffic::Saturate { peer: other_base };
+        let other_member_id = b.station(other_member);
+
+        let mut scenario = b.build();
+        scenario.propagation = prop.clone();
+        let result = scenario.run_for(duration_ns);
+
+        let client_rx = result.traces[serving_base]
+            .as_ref()
+            .map(|t| {
+                t.records
+                    .iter()
+                    .filter(|r| r.truth.unwrap().src_station == client_id)
+                    .count()
+            })
+            .unwrap_or(0);
+        let other_rx = result.traces[other_base]
+            .as_ref()
+            .map(|t| {
+                t.records
+                    .iter()
+                    .filter(|r| r.truth.unwrap().src_station == other_member_id)
+                    .count()
+            })
+            .unwrap_or(0);
+
+        out.push(RoamStep {
+            x_ft: x,
+            serving_cell: serving,
+            serving_level: levels[serving],
+            client_delivery: client_rx as f64 / result.packets_transmitted[client_id].max(1) as f64,
+            other_cell_throughput: (other_rx as f64 / baseline as f64).min(1.0),
+        });
+    }
+    RoamReport { steps: out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn border_zone_disrupts_the_other_cell() {
+        let cells = TwoCells {
+            separation_ft: 200.0,
+            threshold: 12,
+        };
+        let report = walk(cells, 20.0, 180.0, 9, 1_500, 7);
+
+        // Near its own base the client is clean and the other cell
+        // undisturbed.
+        let first = report.steps.first().unwrap();
+        assert_eq!(first.serving_cell, 0);
+        assert!(first.client_delivery > 0.95, "{first:?}");
+        assert!(first.other_cell_throughput > 0.9, "{first:?}");
+        let last = report.steps.last().unwrap();
+        assert_eq!(last.serving_cell, 1);
+        assert!(last.client_delivery > 0.95, "{last:?}");
+
+        // Somewhere in the middle the roamer's transmissions reach the other
+        // cell's base above threshold: its internal throughput drops — the
+        // paper's carrier-sense disruption.
+        let zone = report.disruption_zone(0.2);
+        assert!(!zone.is_empty(), "no disruption zone: {}", report.render());
+        for &x in &zone {
+            assert!((40.0..160.0).contains(&x), "disruption outside border: {x}");
+        }
+        assert!(report.render().contains("Roaming"));
+    }
+
+    #[test]
+    fn handoff_point_sits_midway() {
+        let cells = TwoCells {
+            separation_ft: 200.0,
+            threshold: 12,
+        };
+        let report = walk(cells, 20.0, 180.0, 9, 600, 9);
+        // Serving cell switches exactly once along the walk.
+        let switches = report
+            .steps
+            .windows(2)
+            .filter(|w| w[0].serving_cell != w[1].serving_cell)
+            .count();
+        assert_eq!(switches, 1, "{}", report.render());
+    }
+}

@@ -1,0 +1,153 @@
+//! Section 7.4's closing observation, tested: "We have observed, though not
+//! experimentally verified, that, when operated without thresholding,
+//! WaveLAN is fairly resistant to errors caused by hidden transmitters. We
+//! conjecture that this is because ... a 'capture effect' inherent in its
+//! multipath-resistant receiver design."
+//!
+//! The experiment the paper didn't run: the classic hidden-terminal triple —
+//! a victim receiver between two transmitters that cannot hear each other —
+//! with the capture effect switched on (6 dB margin, the model default) and
+//! ablated (infinite margin). One transmitter is the victim's *near* partner;
+//! the hidden one is farther away, so capture can rescue the near link's
+//! packets from collisions carrier sense cannot prevent.
+
+use super::common::{expected_series, test_receiver, test_sender};
+use wavelan_analysis::analyze;
+use wavelan_net::testpkt::Endpoint;
+use wavelan_sim::runner::attach_tx_count;
+use wavelan_sim::{Point, Propagation, ScenarioBuilder, StationConfig};
+
+/// One configuration's outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct HiddenOutcome {
+    /// Capture margin used (dB; infinite = capture disabled).
+    pub capture_margin_db: f64,
+    /// Packets the near sender transmitted.
+    pub transmitted: u64,
+    /// Of those, received intact by the victim.
+    pub delivered: u64,
+}
+
+impl HiddenOutcome {
+    /// Delivery rate of the near link under hidden-terminal fire.
+    pub fn delivery(&self) -> f64 {
+        if self.transmitted == 0 {
+            return 0.0;
+        }
+        self.delivered as f64 / self.transmitted as f64
+    }
+}
+
+/// The experiment result: with capture vs without.
+#[derive(Debug, Clone, Copy)]
+pub struct HiddenTerminalResult {
+    /// The model default (6 dB margin).
+    pub with_capture: HiddenOutcome,
+    /// Capture ablated.
+    pub without_capture: HiddenOutcome,
+}
+
+impl HiddenTerminalResult {
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        format!(
+            "Hidden-terminal resistance via the capture effect (Section 7.4)\n\
+             victim between a near partner (28 ft) and a hidden saturating\n\
+             transmitter (194 ft) that the partner cannot hear:\n\n\
+             capture ON  (6 dB margin): near link delivers {:.1}%\n\
+             capture OFF (ablated):     near link delivers {:.1}%\n\n\
+             Carrier sense cannot prevent these collisions (the transmitters\n\
+             are hidden from each other); the stronger near packet capturing\n\
+             the receiver is what keeps the link usable — the paper's\n\
+             conjectured mechanism.\n",
+            self.with_capture.delivery() * 100.0,
+            self.without_capture.delivery() * 100.0,
+        )
+    }
+}
+
+fn run_once(capture_margin_db: f64, packets: u64, seed: u64) -> HiddenOutcome {
+    // Victim at the origin; near partner 28 ft away (level ≈ 18); the hidden
+    // transmitter 194 ft away off-axis (level ≈ 9.5 at the victim). A metal
+    // cabinet is placed so that it blocks only the near↔hidden path: the
+    // victim hears both transmitters, the transmitters cannot hear each
+    // other — the textbook hidden-terminal geometry, at the study's default
+    // thresholds ("operated without thresholding").
+    let mut b = ScenarioBuilder::new(seed);
+    let victim =
+        b.station(StationConfig::receiver(test_receiver(), Point::feet(0.0, 0.0)));
+    let near =
+        b.station(StationConfig::sender(test_sender(), Point::feet(28.0, 0.0), victim));
+    // The hidden transmitter saturates toward its own far peer so its
+    // packets are not part of the test series. It keeps the *default*
+    // carrier threshold — it simply cannot hear the near sender.
+    let h = b.next_station_id();
+    let mut hidden =
+        StationConfig::jammer(Endpoint::foreign(5), Point::feet(-190.0, 40.0), h + 1);
+    hidden.thresholds = wavelan_mac::Thresholds::default();
+    b.station(hidden);
+    b.station(StationConfig {
+        record_trace: false,
+        ..StationConfig::receiver(Endpoint::foreign(6), Point::feet(-220.0, 45.0))
+    });
+
+    let plan = wavelan_sim::FloorPlan::open().with_wall(
+        wavelan_sim::Segment::feet(2.0, 2.0, 2.0, 20.0),
+        wavelan_phy::Material::Metal,
+    );
+    let mut scenario = b.floorplan(plan).build();
+    let mut prop = Propagation::indoor(seed);
+    prop.shadowing_sigma_db = 0.0;
+    scenario.propagation = prop;
+    scenario.capture_margin_db = capture_margin_db;
+
+    let mut result = scenario.run_with_limit(near, packets, 60_000_000_000);
+    attach_tx_count(&mut result, victim, near);
+    let analysis = analyze(result.trace(victim), &expected_series());
+    HiddenOutcome {
+        capture_margin_db,
+        transmitted: result.packets_transmitted[near],
+        delivered: analysis
+            .test_packets()
+            .filter(|p| p.class == wavelan_analysis::PacketClass::Undamaged)
+            .count() as u64,
+    }
+}
+
+/// Runs both configurations.
+pub fn run(packets: u64, seed: u64) -> HiddenTerminalResult {
+    HiddenTerminalResult {
+        with_capture: run_once(wavelan_sim::runner::CAPTURE_MARGIN_DB, packets, seed),
+        without_capture: run_once(f64::INFINITY, packets, seed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_confers_hidden_terminal_resistance() {
+        let result = run(500, 43);
+
+        // Sanity: the hidden transmitter really collides with most packets
+        // when capture is off — the near link suffers badly.
+        assert!(
+            result.without_capture.delivery() < 0.6,
+            "{:?}",
+            result.without_capture
+        );
+        // With the 6 dB capture margin the near link stays usable — the
+        // paper's "fairly resistant" observation.
+        assert!(
+            result.with_capture.delivery() > 0.85,
+            "{:?}",
+            result.with_capture
+        );
+        assert!(
+            result.with_capture.delivery() > result.without_capture.delivery() + 0.25,
+            "{result:?}"
+        );
+        assert!(result.render().contains("capture ON"));
+    }
+}

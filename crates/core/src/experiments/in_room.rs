@@ -1,0 +1,107 @@
+//! Table 2: the in-room, line-of-sight base case.
+//!
+//! "In Table 2 we present the results of several long trials in an office
+//! for a signal level of approximately 29.5. ... These trials represent more
+//! than 10¹⁰ bits, and we have experienced very few errors. ... some process
+//! is causing packets to be lost even in a near perfect environment, though
+//! at a rate of well under one per thousand."
+//!
+//! Nine trials; the paper's packet counts are kept verbatim and scaled by
+//! the caller's [`Scale`]. Each trial gets its own seed (its own shadowing
+//! realization and host-loss draws), which is what spreads the loss column
+//! across 0%–.07% exactly as in the paper.
+
+use super::common::{PointTrial, Scale};
+use crate::layouts;
+use wavelan_analysis::report::render_results_table;
+use wavelan_analysis::TrialSummary;
+use wavelan_sim::Propagation;
+
+/// The paper's per-trial packet counts (Table 2, "Packets Received" column,
+/// adjusted up by the reported loss — transmitted counts).
+pub const PAPER_TRIALS: [(&str, u64); 9] = [
+    ("office1", 102_751),
+    ("office2", 40_080),
+    ("office3", 102_730),
+    ("office4", 122_183),
+    ("office5", 488_741),
+    ("office6", 122_209),
+    ("office7", 122_184),
+    ("office8", 125_065),
+    ("office9", 122_184),
+];
+
+/// Result of the experiment: one summary row per trial.
+#[derive(Debug, Clone)]
+pub struct InRoomResult {
+    /// Table rows, one per trial.
+    pub trials: Vec<TrialSummary>,
+}
+
+impl InRoomResult {
+    /// Total body bits received across all trials (the paper's ">10¹⁰ bits"
+    /// headline at full scale).
+    pub fn total_bits(&self) -> u64 {
+        self.trials.iter().map(|t| t.bits_received).sum()
+    }
+
+    /// Total damaged body bits.
+    pub fn total_damaged_bits(&self) -> u64 {
+        self.trials.iter().map(|t| t.body_bits_damaged).sum()
+    }
+
+    /// Worst per-trial loss rate.
+    pub fn worst_loss(&self) -> f64 {
+        self.trials
+            .iter()
+            .map(|t| t.packet_loss)
+            .fold(0.0, f64::max)
+    }
+
+    /// Renders the Table 2 reproduction.
+    pub fn render(&self) -> String {
+        render_results_table("Table 2: Results of in-room experiment", &self.trials)
+    }
+}
+
+/// Runs the nine in-room trials at the given scale.
+pub fn run(scale: Scale, base_seed: u64) -> InRoomResult {
+    let trials = PAPER_TRIALS
+        .iter()
+        .enumerate()
+        .map(|(i, (name, paper_packets))| {
+            let (plan, rx, tx) = layouts::office();
+            let trial = PointTrial::new(
+                plan,
+                Propagation::indoor(base_seed + i as u64),
+                rx,
+                tx,
+                scale.packets(*paper_packets),
+                base_seed + 1_000 + i as u64,
+            );
+            TrialSummary::from_analysis(name, &trial.analyze())
+        })
+        .collect();
+    InRoomResult { trials }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_case_shape_holds() {
+        let result = run(Scale::Smoke, 42);
+        assert_eq!(result.trials.len(), 9);
+        for t in &result.trials {
+            // "well under one per thousand" loss.
+            assert!(t.packet_loss < 0.002, "{}: loss {}", t.name, t.packet_loss);
+            // Essentially no body damage (paper: 1 bit over 10^10).
+            assert_eq!(t.body_bits_damaged, 0, "{}", t.name);
+            assert_eq!(t.packets_truncated, 0, "{}", t.name);
+        }
+        assert!(result.total_bits() > 10_000_000);
+        let table = result.render();
+        assert!(table.contains("office5"));
+    }
+}

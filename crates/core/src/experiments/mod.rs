@@ -1,0 +1,20 @@
+//! One module per paper experiment. See the crate docs for the
+//! table/figure ↔ module map and [`common`] for the shared harness.
+
+pub mod adaptive_fec;
+pub mod body;
+pub mod common;
+pub mod competing;
+pub mod harq;
+pub mod hidden_terminal;
+pub mod in_room;
+pub mod multiroom;
+pub mod narrowband;
+pub mod path_loss;
+pub mod quality_threshold;
+pub mod related_work;
+pub mod signal_vs_error;
+pub mod ss_phone;
+pub mod tdma;
+pub mod threshold;
+pub mod walls;

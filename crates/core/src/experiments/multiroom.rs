@@ -1,0 +1,188 @@
+//! Tables 5–7: the multi-room experiment (the paper's Figure 4 layout).
+//!
+//! Four transmitter locations against a fixed receiver: same office (Tx1),
+//! one concrete wall (Tx2), and two distant locations through several walls
+//! and metal (Tx4, Tx5). "The fourth transmitter location shows us our first
+//! corrupted packet bodies. Twenty-five of the received packets have a total
+//! of 82 bit errors, with the worst packet containing seven bit corruptions.
+//! While this number is trivial to correct using error coding, the existing
+//! WaveLAN system does not include such a mechanism."
+
+use super::common::{PointTrial, Scale};
+use crate::layouts::{self, MultiRoom};
+use wavelan_analysis::report::{render_results_table, render_signal_table, SignalRow};
+use wavelan_analysis::{PacketClass, TraceAnalysis, TrialSummary};
+use wavelan_sim::Propagation;
+
+/// Paper packet counts per location (Tables 5–6).
+pub const PAPER_PACKETS: [(&str, u64); 4] = [
+    ("Tx1", 12_715),
+    ("Tx2", 12_721),
+    ("Tx4", 1_441),
+    ("Tx5", 1_442),
+];
+
+/// One location's results.
+#[derive(Debug)]
+pub struct LocationResult {
+    /// Location label.
+    pub name: &'static str,
+    /// Full analysis.
+    pub analysis: TraceAnalysis,
+}
+
+/// The Tables 5–7 result.
+#[derive(Debug)]
+pub struct MultiRoomResult {
+    /// Per-location results, in paper order (Tx1, Tx2, Tx4, Tx5).
+    pub locations: Vec<LocationResult>,
+}
+
+impl MultiRoomResult {
+    /// Table 5 rows.
+    pub fn table5(&self) -> Vec<TrialSummary> {
+        self.locations
+            .iter()
+            .map(|l| TrialSummary::from_analysis(l.name, &l.analysis))
+            .collect()
+    }
+
+    /// Table 6 rows (signal metrics per location).
+    pub fn table6(&self) -> Vec<SignalRow> {
+        self.locations
+            .iter()
+            .map(|l| SignalRow::new(l.name, l.analysis.stats_where(|p| p.is_test)))
+            .collect()
+    }
+
+    /// Table 7 rows (Tx5 broken down by packet condition).
+    pub fn table7(&self) -> Vec<SignalRow> {
+        let tx5 = &self.locations.last().expect("Tx5 present").analysis;
+        vec![
+            SignalRow::new("All", tx5.stats_where(|p| p.is_test)),
+            SignalRow::new(
+                "Error-Free",
+                tx5.stats_where(|p| p.is_test && p.class == PacketClass::Undamaged),
+            ),
+            SignalRow::new(
+                "Truncated",
+                tx5.stats_where(|p| p.is_test && p.class == PacketClass::Truncated),
+            ),
+            SignalRow::new(
+                "Body Damaged",
+                tx5.stats_where(|p| p.is_test && p.class == PacketClass::BodyDamaged),
+            ),
+        ]
+    }
+
+    /// Renders all three tables.
+    pub fn render(&self) -> String {
+        let mut out =
+            render_results_table("Table 5: Results of multi-room experiments", &self.table5());
+        out.push('\n');
+        out.push_str(&render_signal_table(
+            "Table 6: Signal metrics for multi-room experiment",
+            &self.table6(),
+        ));
+        out.push('\n');
+        out.push_str(&render_signal_table(
+            "Table 7: Signal metrics for multi-room scenario Tx5",
+            &self.table7(),
+        ));
+        out
+    }
+}
+
+/// Runs the four locations at the given scale.
+pub fn run(scale: Scale, seed: u64) -> MultiRoomResult {
+    let MultiRoom {
+        plan,
+        rx,
+        tx1,
+        tx2,
+        tx4,
+        tx5,
+    } = layouts::multiroom();
+    let positions = [tx1, tx2, tx4, tx5];
+    let locations = PAPER_PACKETS
+        .iter()
+        .zip(positions)
+        .map(|((name, paper_packets), tx)| {
+            let trial = PointTrial::new(
+                plan.clone(),
+                pinned_propagation(seed),
+                rx,
+                tx,
+                scale.packets(*paper_packets),
+                seed + u64::from(name.as_bytes()[2]),
+            );
+            LocationResult {
+                name,
+                analysis: trial.analyze(),
+            }
+        })
+        .collect();
+    MultiRoomResult { locations }
+}
+
+/// The paper measured these placements once each; its tight per-trial level
+/// spreads say the slow fading realization must not vary, so shadowing is
+/// pinned to zero and the calibrated wall/distance budget carries the level.
+fn pinned_propagation(seed: u64) -> Propagation {
+    let mut p = Propagation::indoor(seed);
+    p.shadowing_sigma_db = 0.0;
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_5_to_7_shape_holds() {
+        let result = run(Scale::Smoke, 20);
+        let t5 = result.table5();
+        let t6 = result.table6();
+
+        // Levels descend Tx1 > Tx2 > Tx4 > Tx5 near the paper's values.
+        let levels: Vec<f64> = t6.iter().map(|r| r.level.mean()).collect();
+        for w in levels.windows(2) {
+            assert!(w[0] > w[1], "{levels:?}");
+        }
+        assert!((levels[0] - 28.58).abs() < 2.5, "Tx1 {}", levels[0]);
+        assert!((levels[3] - 9.50).abs() < 2.5, "Tx5 {}", levels[3]);
+
+        // Tx1/Tx2 essentially clean; the damage appears at Tx5.
+        assert_eq!(t5[0].body_bits_damaged, 0, "{t5:?}");
+        assert_eq!(t5[1].body_bits_damaged, 0, "{t5:?}");
+        assert!(t5[3].packet_loss < 0.05, "{}", t5[3].packet_loss);
+
+        // Quality stays pinned at ~15 even at Tx5's low level — the paper's
+        // key observation that level and quality measure different things.
+        assert!(t6[3].quality.mean() > 14.0, "{}", t6[3].quality.mean());
+
+        let rendered = result.render();
+        assert!(rendered.contains("Table 5"));
+        assert!(rendered.contains("Tx5"));
+    }
+
+    #[test]
+    fn tx5_damage_appears_at_reduced_scale() {
+        // Smoke scale may see zero damaged packets at Tx5 (the paper saw 25
+        // in 1,440); run Tx5 alone a bit longer to check the mechanism.
+        let MultiRoom { plan, rx, tx5, .. } = layouts::multiroom();
+        let trial = PointTrial::new(plan, Propagation::indoor(20), rx, tx5, 6_000, 77);
+        let analysis = trial.analyze();
+        let damaged = analysis.count(PacketClass::BodyDamaged);
+        assert!(damaged > 0, "expected some body damage at Tx5");
+        // A handful of bits per damaged packet, tens overall — not a storm.
+        let worst = analysis
+            .test_packets()
+            .map(|p| p.body_bit_errors)
+            .max()
+            .unwrap();
+        assert!((1..=60).contains(&worst), "worst body {worst}");
+        let rate = damaged as f64 / analysis.test_packets().count() as f64;
+        assert!(rate < 0.15, "damage rate {rate}");
+    }
+}

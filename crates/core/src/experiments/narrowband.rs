@@ -1,0 +1,199 @@
+//! Table 10: narrowband 900 MHz cordless phones.
+//!
+//! "We placed our WaveLAN transmitter and receiver approximately 20 feet
+//! apart in a large lecture hall and subjected them to various telephone
+//! interference. ... the WaveLAN experienced no damaged test packets, and
+//! only background levels of packet loss. ... The telephones affected the
+//! silence level to varying degrees."
+//!
+//! The five trials differ only in the phones' placement/power (see
+//! `crate::calibration::narrowband_power` for the silence-level anchors).
+//! In the two low-silence trials the paper also logged outsider packets from
+//! nearby buildings; we add the outsider pair there.
+
+use super::common::{add_outsider_pair, expected_series, test_receiver, test_sender, Scale};
+use crate::calibration::{narrowband_phone, narrowband_power};
+use wavelan_analysis::report::{render_signal_table, SignalRow};
+use wavelan_analysis::{analyze, PacketClass, TraceAnalysis};
+use wavelan_sim::runner::attach_tx_count;
+use wavelan_sim::{Point, Propagation, ScenarioBuilder, StationConfig};
+
+/// The paper collected ≈1,440 packets per trial.
+pub const PAPER_PACKETS: u64 = 1_440;
+
+/// One Table 10 trial.
+#[derive(Debug)]
+pub struct NarrowbandTrial {
+    /// Trial label.
+    pub name: &'static str,
+    /// Analysis of the receiver trace.
+    pub analysis: TraceAnalysis,
+}
+
+/// The Table 10 result.
+#[derive(Debug)]
+pub struct NarrowbandResult {
+    /// Trials in the paper's order.
+    pub trials: Vec<NarrowbandTrial>,
+}
+
+impl NarrowbandResult {
+    /// Total damaged test packets across all trials (the paper saw zero).
+    pub fn total_damaged(&self) -> usize {
+        self.trials
+            .iter()
+            .map(|t| t.analysis.test_packets().count() - t.analysis.count(PacketClass::Undamaged))
+            .sum()
+    }
+
+    /// Renders the Table 10 reproduction (test rows, plus outsider rows
+    /// where present).
+    pub fn render(&self) -> String {
+        let mut rows = Vec::new();
+        for t in &self.trials {
+            rows.push(SignalRow::new(
+                t.name,
+                t.analysis.stats_where(|p| p.is_test),
+            ));
+            let outsiders = t.analysis.outsiders().count();
+            if outsiders > 0 {
+                rows.push(SignalRow::new(
+                    "  Outsiders",
+                    t.analysis.stats_where(|p| !p.is_test),
+                ));
+            }
+        }
+        render_signal_table(
+            "Table 10: The effects of narrowband 900 MHz cordless phones",
+            &rows,
+        )
+    }
+}
+
+/// Trial specifications: name, phone power (None = phones off), outsiders.
+fn trial_specs() -> Vec<(&'static str, Option<f64>, bool)> {
+    vec![
+        ("Phones off", None, true),
+        ("Cluster", Some(narrowband_power::CLUSTER), false),
+        (
+            "Handsets nearby",
+            Some(narrowband_power::HANDSETS_NEARBY),
+            false,
+        ),
+        (
+            "Handsets nearby talking",
+            Some(narrowband_power::HANDSETS_TALKING),
+            true,
+        ),
+        ("Bases nearby", Some(narrowband_power::BASES_NEARBY), false),
+    ]
+}
+
+/// Runs the five trials at the given scale.
+pub fn run(scale: Scale, seed: u64) -> NarrowbandResult {
+    let packets = scale.packets(PAPER_PACKETS);
+    let trials = trial_specs()
+        .into_iter()
+        .enumerate()
+        .map(|(i, (name, phone_power, outsiders))| {
+            let mut b = ScenarioBuilder::new(seed + i as u64);
+            let rx = b.station(StationConfig::receiver(
+                test_receiver(),
+                Point::feet(0.0, 0.0),
+            ));
+            let tx = b.station(StationConfig::sender(
+                test_sender(),
+                Point::feet(10.0, 0.0),
+                rx,
+            ));
+            if outsiders {
+                add_outsider_pair(&mut b, Point::feet(-430.0, 60.0), Point::feet(-540.0, 80.0));
+            }
+            if let Some(power) = phone_power {
+                b.ambient(narrowband_phone(power));
+            }
+            let mut scenario = b.build();
+            scenario.propagation = Propagation::indoor(seed);
+            let mut result = scenario.run(tx, packets);
+            attach_tx_count(&mut result, rx, tx);
+            let trace = result.traces[rx].clone().expect("receiver records");
+            NarrowbandTrial {
+                name,
+                analysis: analyze(&trace, &expected_series()),
+            }
+        })
+        .collect();
+    NarrowbandResult { trials }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_10_shape_holds() {
+        let result = run(Scale::Smoke, 13);
+
+        // The headline: zero damaged test packets in every trial.
+        assert_eq!(result.total_damaged(), 0);
+
+        // Loss stays at background levels.
+        for t in &result.trials {
+            assert!(
+                t.analysis.packet_loss() < 0.005,
+                "{}: {}",
+                t.name,
+                t.analysis.packet_loss()
+            );
+        }
+
+        // Silence levels order as the paper's: off < talking < handsets <
+        // cluster < bases; and the quiet/loud extremes match the anchors.
+        let silence: Vec<f64> = result
+            .trials
+            .iter()
+            .map(|t| t.analysis.stats_where(|p| p.is_test).1.mean())
+            .collect();
+        assert!(silence[0] < 4.5, "phones off silence {}", silence[0]);
+        assert!(
+            (silence[1] - 15.45).abs() < 1.5,
+            "cluster silence {}",
+            silence[1]
+        );
+        assert!(
+            (silence[2] - 11.33).abs() < 1.5,
+            "handsets silence {}",
+            silence[2]
+        );
+        assert!(
+            (silence[3] - 6.11).abs() < 1.5,
+            "talking silence {}",
+            silence[3]
+        );
+        assert!(
+            (silence[4] - 19.32).abs() < 1.5,
+            "bases silence {}",
+            silence[4]
+        );
+
+        // Quality untouched by narrowband interference (DSSS suppression).
+        for t in &result.trials {
+            let q = t.analysis.stats_where(|p| p.is_test).2.mean();
+            assert!(q > 14.5, "{}: quality {q}", t.name);
+        }
+
+        // Level essentially unchanged across trials (paper: 26.3–26.9).
+        let levels: Vec<f64> = result
+            .trials
+            .iter()
+            .map(|t| t.analysis.stats_where(|p| p.is_test).0.mean())
+            .collect();
+        let spread = levels.iter().fold(f64::MIN, |a, &b| a.max(b))
+            - levels.iter().fold(f64::MAX, |a, &b| a.min(b));
+        assert!(spread < 2.0, "levels vary too much: {levels:?}");
+
+        // Outsiders logged in the trials that had them.
+        assert!(result.trials[0].analysis.outsiders().count() > 0);
+        assert!(result.render().contains("Table 10"));
+    }
+}

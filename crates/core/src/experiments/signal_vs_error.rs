@@ -1,0 +1,245 @@
+//! Table 3 and Figure 2: packet error conditions versus signal metrics.
+//!
+//! "Table 3 presents the aggregated results of several trials, with slight
+//! variations of receiver position, orientation, and obstacles within each
+//! trial. While undamaged packets may have a signal level as low as 5, and
+//! damaged packets one as high as 12, the main body of damaged packets has
+//! signal levels below 8, whereas it is well above 8 for undamaged packets."
+//!
+//! We aggregate trials across a ladder of sender positions whose levels span
+//! the whole usable range, plus an outsider pair from "another building".
+//! Figure 2 is derived from the same sweep: mean level and error rate per
+//! position, from which the shaded "error region" (level < 8) falls out.
+
+use super::common::{add_outsider_pair, expected_series, test_receiver, test_sender, Scale};
+use wavelan_analysis::report::{render_signal_table, SignalRow};
+use wavelan_analysis::{analyze, PacketClass, TraceAnalysis};
+use wavelan_sim::runner::attach_tx_count;
+use wavelan_sim::{Point, ScenarioBuilder, StationConfig};
+
+/// Sender distances (ft) whose calibrated levels ladder from ≈27 down into
+/// the error region (see the module docs of `crate::layouts` on distances).
+pub const POSITION_LADDER_FT: [f64; 9] =
+    [11.0, 40.0, 90.0, 150.0, 210.0, 250.0, 280.0, 305.0, 330.0];
+
+/// One Figure 2 point.
+#[derive(Debug, Clone)]
+pub struct PositionSample {
+    /// Sender distance, feet.
+    pub distance_ft: f64,
+    /// Mean reported level of received test packets.
+    pub mean_level: f64,
+    /// Loss rate at this position.
+    pub loss: f64,
+    /// Fraction of received test packets damaged (truncated or corrupted).
+    pub damaged_fraction: f64,
+}
+
+/// The combined Table 3 / Figure 2 result.
+#[derive(Debug)]
+pub struct SignalVsErrorResult {
+    /// Pooled analysis across all positions.
+    pub pooled: TraceAnalysis,
+    /// Per-position samples for Figure 2.
+    pub positions: Vec<PositionSample>,
+}
+
+/// The signal level below which the paper shades the "error region".
+pub const ERROR_REGION_LEVEL: f64 = 8.0;
+
+impl SignalVsErrorResult {
+    /// The Table 3 rows, in the paper's order.
+    pub fn table3_rows(&self) -> Vec<SignalRow> {
+        let a = &self.pooled;
+        vec![
+            SignalRow::new("All test packets", a.stats_where(|p| p.is_test)),
+            SignalRow::new(
+                "Undamaged",
+                a.stats_where(|p| p.is_test && p.class == PacketClass::Undamaged),
+            ),
+            SignalRow::new(
+                "Truncated",
+                a.stats_where(|p| p.is_test && p.class == PacketClass::Truncated),
+            ),
+            SignalRow::new(
+                "Wrapper damaged",
+                a.stats_where(|p| p.is_test && p.class == PacketClass::WrapperDamaged),
+            ),
+            SignalRow::new(
+                "Body damaged",
+                a.stats_where(|p| p.is_test && p.class == PacketClass::BodyDamaged),
+            ),
+            SignalRow::new(
+                "Undamaged outsiders",
+                a.stats_where(|p| !p.is_test && p.class == PacketClass::Undamaged),
+            ),
+            SignalRow::new(
+                "Damaged outsiders",
+                a.stats_where(|p| !p.is_test && p.class != PacketClass::Undamaged),
+            ),
+        ]
+    }
+
+    /// Renders the Table 3 reproduction.
+    pub fn render_table3(&self) -> String {
+        render_signal_table(
+            "Table 3: Packet error conditions versus signal metrics",
+            &self.table3_rows(),
+        )
+    }
+
+    /// Renders the Figure 2 series.
+    pub fn render_figure2(&self) -> String {
+        let mut out = String::from(
+            "Figure 2: Signal level vs distance with the error region (level < 8)\n\
+             distance  level  loss%  damaged%  region\n",
+        );
+        for p in &self.positions {
+            out.push_str(&format!(
+                "{:>7.0}ft {:>6.2} {:>6.2} {:>8.2}  {}\n",
+                p.distance_ft,
+                p.mean_level,
+                p.loss * 100.0,
+                p.damaged_fraction * 100.0,
+                if p.mean_level < ERROR_REGION_LEVEL {
+                    "ERROR"
+                } else {
+                    "ok"
+                }
+            ));
+        }
+        out
+    }
+}
+
+/// Runs the sweep at the given scale (the paper pooled 8,634 test packets).
+pub fn run(scale: Scale, seed: u64) -> SignalVsErrorResult {
+    let packets_per_position = scale.packets(8_634 / POSITION_LADDER_FT.len() as u64);
+    let mut pooled_packets = Vec::new();
+    let mut transmitted = 0u64;
+    let mut positions = Vec::new();
+
+    for (i, &d) in POSITION_LADDER_FT.iter().enumerate() {
+        let mut b = ScenarioBuilder::new(seed + i as u64);
+        let rx = b.station(StationConfig::receiver(
+            test_receiver(),
+            Point::feet(0.0, 0.0),
+        ));
+        let tx = b.station(StationConfig::sender(
+            test_sender(),
+            Point::feet(d, 0.0),
+            rx,
+        ));
+        // The outsiders: a pair from a nearby building, one marginally
+        // audible (level ≈ 4–5, usually damaged), the other far beyond it.
+        add_outsider_pair(&mut b, Point::feet(-430.0, 60.0), Point::feet(-540.0, 80.0));
+        let scenario = b.build();
+        let mut result = scenario.run(tx, packets_per_position);
+        attach_tx_count(&mut result, rx, tx);
+        let trace = result.traces[rx].clone().expect("receiver records");
+        let analysis = analyze(&trace, &expected_series());
+
+        let (level, _, _) = analysis.stats_where(|p| p.is_test);
+        let received = analysis.test_packets().count();
+        let damaged = received - analysis.count(PacketClass::Undamaged);
+        positions.push(PositionSample {
+            distance_ft: d,
+            mean_level: level.mean(),
+            loss: analysis.packet_loss(),
+            damaged_fraction: if received == 0 {
+                0.0
+            } else {
+                damaged as f64 / received as f64
+            },
+        });
+        transmitted += analysis.transmitted;
+        pooled_packets.extend(analysis.packets);
+    }
+
+    SignalVsErrorResult {
+        pooled: TraceAnalysis {
+            packets: pooled_packets,
+            transmitted,
+        },
+        positions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_and_figure2_shape_holds() {
+        let result = run(Scale::Smoke, 5);
+
+        // Figure 2: level decreases with distance; the far end is in the
+        // error region and errors concentrate there.
+        let first = &result.positions[0];
+        let last = result.positions.last().unwrap();
+        assert!(first.mean_level > 24.0, "{}", first.mean_level);
+        assert!(
+            last.mean_level < ERROR_REGION_LEVEL + 1.0,
+            "{}",
+            last.mean_level
+        );
+        assert!(last.loss + last.damaged_fraction > 0.05);
+        // A percent or two of loss at close range comes from the receiver
+        // being busy with outsider chatter when a test packet arrives.
+        assert!(first.loss < 0.03, "{}", first.loss);
+        assert_eq!(first.damaged_fraction, 0.0);
+
+        // Table 3: undamaged packets sit well above damaged ones in level.
+        let rows = result.table3_rows();
+        let undamaged = &rows[1];
+        let body_damaged = &rows[4];
+        assert!(undamaged.packets > 1_000);
+        assert!(body_damaged.packets > 5, "{}", body_damaged.packets);
+        assert!(
+            undamaged.level.mean() > body_damaged.level.mean() + 3.0,
+            "undamaged {} vs damaged {}",
+            undamaged.level.mean(),
+            body_damaged.level.mean()
+        );
+        // "the main body of damaged packets has signal levels below 8".
+        assert!(
+            body_damaged.level.mean() < 9.0,
+            "{}",
+            body_damaged.level.mean()
+        );
+        // Damaged packets keep high-ish quality under pure attenuation, but
+        // their quality dips below the undamaged packets' near-constant 15.
+        assert!(body_damaged.quality.mean() <= undamaged.quality.mean());
+
+        // Outsiders appear, and the damaged ones dominate (paper: 867 of 940).
+        let undamaged_out = &rows[5];
+        let damaged_out = &rows[6];
+        let outsiders = undamaged_out.packets + damaged_out.packets;
+        assert!(outsiders > 3, "{outsiders}");
+        // Damaged outsiders form a substantial share (the paper's outsiders
+        // were overwhelmingly damaged; our antenna-diversity model lets a
+        // few more through clean — see EXPERIMENTS.md).
+        assert!(
+            damaged_out.packets * 2 >= undamaged_out.packets,
+            "damaged {} vs undamaged {}",
+            damaged_out.packets,
+            undamaged_out.packets
+        );
+        // Damaged outsiders have distinctly poorer quality than the test
+        // packets (paper: μ 7.49 vs 14.9+) — "the most striking difference
+        // ... is their signal quality".
+        if damaged_out.packets > 0 {
+            assert!(
+                damaged_out.quality.mean() < undamaged.quality.mean() - 1.0,
+                "{} vs {}",
+                damaged_out.quality.mean(),
+                undamaged.quality.mean()
+            );
+        }
+
+        let t3 = result.render_table3();
+        assert!(t3.contains("Damaged outsiders"));
+        let f2 = result.render_figure2();
+        assert!(f2.contains("ERROR"));
+    }
+}

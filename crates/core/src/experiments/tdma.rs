@@ -1,0 +1,136 @@
+//! The introduction's MAC argument, quantified: CSMA/CA vs reservation TDMA.
+//!
+//! Paper Section 1: "we believe that a Time Division Multiple Access (TDMA)
+//! MAC layer atop a per-cell shared medium is attractive because TDMA allows
+//! flexible bandwidth sharing among stations whose needs will vary with
+//! time" — and Section 8 expects future pico-cells to hand "substantial
+//! bandwidth to individual client machines", which a collision-avoidance MAC
+//! squanders under load.
+//!
+//! This experiment sweeps offered load over a cell of stations and compares
+//! the two MACs on aggregate throughput and Jain fairness, using the
+//! slot-level shootout in `wavelan-mac::tdma`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wavelan_mac::tdma::{compare_with_csma, MacComparison};
+
+/// One load point of the sweep.
+#[derive(Debug, Clone)]
+pub struct LoadSample {
+    /// Per-station packet arrival probability per slot.
+    pub arrival_prob: f64,
+    /// Offered load as a fraction of channel capacity.
+    pub offered_load: f64,
+    /// The shootout numbers at this load.
+    pub comparison: MacComparison,
+}
+
+/// The experiment result.
+#[derive(Debug, Clone)]
+pub struct TdmaResult {
+    /// Stations in the cell.
+    pub stations: usize,
+    /// Samples in increasing-load order.
+    pub samples: Vec<LoadSample>,
+}
+
+impl TdmaResult {
+    /// The lowest offered load at which TDMA's throughput exceeds CSMA's by
+    /// more than 10% of capacity (the "reservation pays off" point), if any.
+    pub fn crossover_load(&self) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.comparison.tdma_throughput > s.comparison.csma_throughput + 0.10)
+            .map(|s| s.offered_load)
+    }
+
+    /// Renders the sweep.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "CSMA/CA vs reservation TDMA, {} stations (paper Section 1's argument)\n\
+             offered   csma thru  tdma thru  csma fair  tdma fair\n",
+            self.stations
+        );
+        for s in &self.samples {
+            out.push_str(&format!(
+                "{:>6.0}% {:>10.1}% {:>9.1}% {:>10.3} {:>10.3}\n",
+                s.offered_load * 100.0,
+                s.comparison.csma_throughput * 100.0,
+                s.comparison.tdma_throughput * 100.0,
+                s.comparison.csma_fairness,
+                s.comparison.tdma_fairness,
+            ));
+        }
+        if let Some(load) = self.crossover_load() {
+            out.push_str(&format!(
+                "\nreservation TDMA pulls decisively ahead from ≈{:.0}% offered load\n",
+                load * 100.0
+            ));
+        }
+        out
+    }
+}
+
+/// Runs the sweep: `stations` stations, loads from 10% to 160% of capacity.
+pub fn run(stations: usize, frames: usize, seed: u64) -> TdmaResult {
+    let slots_per_frame = 2 * stations;
+    let weights = vec![1.0; stations];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let samples = (1..=8)
+        .map(|i| {
+            let offered_load = f64::from(i) * 0.2;
+            // offered_load = stations × arrival_prob (per slot).
+            let arrival_prob = offered_load / stations as f64;
+            let comparison = compare_with_csma(
+                stations,
+                slots_per_frame,
+                frames,
+                arrival_prob,
+                &weights,
+                &mut rng,
+            );
+            LoadSample {
+                arrival_prob,
+                offered_load,
+                comparison,
+            }
+        })
+        .collect();
+    TdmaResult { stations, samples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservation_wins_under_load() {
+        let result = run(8, 400, 5);
+
+        // Light load: both MACs deliver what's offered.
+        let light = &result.samples[0];
+        assert!(
+            (light.comparison.csma_throughput - light.offered_load).abs() < 0.05,
+            "{light:?}"
+        );
+        assert!(
+            (light.comparison.tdma_throughput - light.offered_load).abs() < 0.05,
+            "{light:?}"
+        );
+
+        // Saturation: TDMA fills the channel, CSMA collapses into collisions.
+        let heavy = result.samples.last().unwrap();
+        assert!(heavy.comparison.tdma_throughput > 0.85, "{heavy:?}");
+        assert!(heavy.comparison.csma_throughput < 0.60, "{heavy:?}");
+        assert!(heavy.comparison.tdma_fairness > 0.98, "{heavy:?}");
+
+        // The crossover exists and sits near/above full offered load.
+        let crossover = result
+            .crossover_load()
+            .expect("a crossover under saturation");
+        assert!((0.5..=1.7).contains(&crossover), "{crossover}");
+
+        assert!(result.render().contains("reservation TDMA"));
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # wavelan-core
+//!
+//! Experiment definitions reproducing every table and figure of
+//! *Measurement and Analysis of the Error Characteristics of an In-Building
+//! Wireless Network* (Eckhardt & Steenkiste, SIGCOMM 1996).
+//!
+//! Each submodule of [`experiments`] owns one experiment: it assembles the
+//! scenario (floor plan, station placement, interference), runs trials
+//! through `wavelan-sim`, pushes the receiver trace through
+//! `wavelan-analysis`, and returns a typed result that can render itself as
+//! the paper's corresponding table or figure series.
+//!
+//! | Paper artifact | Module |
+//! |---|---|
+//! | Table 2 (in-room base case) | [`experiments::in_room`] |
+//! | Figure 1 (level vs distance) | [`experiments::path_loss`] |
+//! | Table 3 + Figure 2 (error conditions vs signal) | [`experiments::signal_vs_error`] |
+//! | Figure 3 (receive threshold) | [`experiments::threshold`] |
+//! | Table 4 (single wall) | [`experiments::walls`] |
+//! | Tables 5–7 (multi-room) | [`experiments::multiroom`] |
+//! | Tables 8–9 (human body) | [`experiments::body`] |
+//! | Table 10 (narrowband phones) | [`experiments::narrowband`] |
+//! | Tables 11–13 (spread-spectrum phones) | [`experiments::ss_phone`] |
+//! | Table 14 (competing WaveLAN) | [`experiments::competing`] |
+//! | Section 8 conjecture (variable FEC) | [`experiments::adaptive_fec`] |
+//!
+//! [`calibration`] documents every constant that ties the simulator to a
+//! number in the paper; [`layouts`] holds the floor plans.
+
+pub mod calibration;
+pub mod experiments;
+pub mod layouts;
+
+pub use experiments::common::Scale;

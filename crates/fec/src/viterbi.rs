@@ -1,0 +1,248 @@
+//! Viterbi maximum-likelihood decoding of the K=7 code.
+//!
+//! "Hagenauer presents a family of codes called rate-compatible punctured
+//! convolution codes which use the popular Viterbi decoding algorithm"
+//! (paper Section 9.4, citing Viterbi 1967 and Forney 1973).
+//!
+//! The decoder works on *soft symbols*: each received coded bit is a value
+//! in `[-1.0, +1.0]` where the sign is the hard decision and the magnitude
+//! the confidence. Punctured (never transmitted) positions are erasures —
+//! magnitude 0 — which contribute nothing to any branch metric; this is what
+//! makes one decoder serve the whole RCPC family. Hard-decision decoding is
+//! the special case where every magnitude is 1.
+
+use crate::convolutional::{branch_output, next_state, CONSTRAINT, STATES, TAIL_BITS};
+
+/// A received soft symbol: sign = hard decision, magnitude = confidence,
+/// 0.0 = erasure (punctured or lost).
+pub type SoftSymbol = f64;
+
+/// Converts hard bits to soft symbols (±1).
+pub fn hard_to_soft(bits: &[u8]) -> Vec<SoftSymbol> {
+    bits.iter()
+        .map(|&b| if b & 1 == 1 { 1.0 } else { -1.0 })
+        .collect()
+}
+
+/// The Viterbi decoder for the K=7, rate-1/2 code (with erasures).
+#[derive(Debug, Clone)]
+pub struct ViterbiDecoder {
+    /// Precomputed branch outputs as ±1 pairs, indexed by [state][input].
+    branch: Vec<[(f64, f64); 2]>,
+}
+
+impl Default for ViterbiDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ViterbiDecoder {
+    /// Builds the decoder (precomputes the trellis outputs).
+    pub fn new() -> ViterbiDecoder {
+        let mut branch = vec![[(0.0, 0.0); 2]; STATES];
+        for (state, entry) in branch.iter_mut().enumerate() {
+            for input in 0..2u8 {
+                let (o0, o1) = branch_output(input, state);
+                let map = |b: u8| if b == 1 { 1.0 } else { -1.0 };
+                entry[usize::from(input)] = (map(o0), map(o1));
+            }
+        }
+        ViterbiDecoder { branch }
+    }
+
+    /// Decodes a *terminated* frame of soft symbols (2 per trellis step,
+    /// including the tail) back into the information bits.
+    ///
+    /// Correlation metric: larger is better; erasures add 0 either way.
+    pub fn decode_terminated(&self, symbols: &[SoftSymbol]) -> Vec<u8> {
+        assert!(
+            symbols.len().is_multiple_of(2),
+            "soft symbols come in pairs"
+        );
+        let steps = symbols.len() / 2;
+        if steps < TAIL_BITS {
+            return Vec::new();
+        }
+        const NEG_INF: f64 = f64::NEG_INFINITY;
+
+        let mut metric = vec![NEG_INF; STATES];
+        metric[0] = 0.0; // encoder starts in state 0
+        let mut new_metric = vec![NEG_INF; STATES];
+        // survivor[t][next_state] = (prev_state, input bit)
+        let mut survivor: Vec<Vec<(u16, u8)>> = Vec::with_capacity(steps);
+
+        for t in 0..steps {
+            let r0 = symbols[2 * t];
+            let r1 = symbols[2 * t + 1];
+            new_metric.iter_mut().for_each(|m| *m = NEG_INF);
+            let mut col = vec![(0u16, 0u8); STATES];
+            #[allow(clippy::needless_range_loop)] // trellis walk reads clearest indexed
+            for state in 0..STATES {
+                let m = metric[state];
+                if m == NEG_INF {
+                    continue;
+                }
+                for input in 0..2u8 {
+                    let (e0, e1) = self.branch[state][usize::from(input)];
+                    let bm = m + r0 * e0 + r1 * e1;
+                    let ns = next_state(input, state);
+                    if bm > new_metric[ns] {
+                        new_metric[ns] = bm;
+                        col[ns] = (state as u16, input);
+                    }
+                }
+            }
+            std::mem::swap(&mut metric, &mut new_metric);
+            survivor.push(col);
+        }
+
+        // Terminated frame: trace back from state 0.
+        let mut state = 0usize;
+        let mut bits_rev = Vec::with_capacity(steps);
+        for t in (0..steps).rev() {
+            let (prev, input) = survivor[t][state];
+            bits_rev.push(input);
+            state = usize::from(prev);
+        }
+        bits_rev.reverse();
+        bits_rev.truncate(steps - TAIL_BITS); // drop the tail
+        bits_rev
+    }
+
+    /// Hard-decision convenience wrapper.
+    pub fn decode_hard(&self, coded_bits: &[u8]) -> Vec<u8> {
+        self.decode_terminated(&hard_to_soft(coded_bits))
+    }
+}
+
+/// Free distance of the 133/171 K=7 code. Any error pattern of weight
+/// ≤ ⌊(d_free−1)/2⌋ = 4 within one constraint span is correctable.
+pub const FREE_DISTANCE: usize = 10;
+
+/// The constraint span in coded bits (for tests that place error patterns).
+pub const SPAN_CODED_BITS: usize = 2 * CONSTRAINT;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convolutional::ConvolutionalEncoder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_bits(n: usize, seed: u64) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(0..2u8)).collect()
+    }
+
+    #[test]
+    fn decodes_clean_frames_exactly() {
+        let dec = ViterbiDecoder::new();
+        for len in [1usize, 7, 64, 500] {
+            let bits = random_bits(len, len as u64);
+            let coded = ConvolutionalEncoder::new().encode_terminated(&bits);
+            assert_eq!(dec.decode_hard(&coded), bits, "len {len}");
+        }
+    }
+
+    #[test]
+    fn corrects_scattered_errors() {
+        // Up to 2 bit errors per constraint span are comfortably correctable
+        // (free distance 10 ⇒ up to 4 in ideal placement).
+        let dec = ViterbiDecoder::new();
+        let bits = random_bits(300, 3);
+        let mut coded = ConvolutionalEncoder::new().encode_terminated(&bits);
+        // One flipped bit every 40 coded bits.
+        let mut i = 7;
+        while i < coded.len() {
+            coded[i] ^= 1;
+            i += 40;
+        }
+        assert_eq!(dec.decode_hard(&coded), bits);
+    }
+
+    #[test]
+    fn corrects_any_double_error_in_a_span() {
+        let dec = ViterbiDecoder::new();
+        let bits = random_bits(60, 4);
+        let clean = ConvolutionalEncoder::new().encode_terminated(&bits);
+        // All double-error patterns within one span near the middle.
+        let base = 40;
+        for i in 0..SPAN_CODED_BITS {
+            for j in (i + 1)..SPAN_CODED_BITS {
+                let mut coded = clean.clone();
+                coded[base + i] ^= 1;
+                coded[base + j] ^= 1;
+                assert_eq!(dec.decode_hard(&coded), bits, "errors at {i},{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn erasures_are_recoverable() {
+        // Puncture 4 of every 16 symbols (rate 2/3): still decodes clean input.
+        let dec = ViterbiDecoder::new();
+        let bits = random_bits(200, 5);
+        let coded = ConvolutionalEncoder::new().encode_terminated(&bits);
+        let mut soft = hard_to_soft(&coded);
+        for (i, s) in soft.iter_mut().enumerate() {
+            if i % 4 == 3 {
+                *s = 0.0;
+            }
+        }
+        assert_eq!(dec.decode_terminated(&soft), bits);
+    }
+
+    #[test]
+    fn soft_decisions_beat_hard_decisions() {
+        // At the same raw error rate, giving the decoder confidence values
+        // must not decode worse; over many frames it decodes strictly better.
+        let mut rng = StdRng::seed_from_u64(6);
+        let dec = ViterbiDecoder::new();
+        let mut hard_errors = 0u32;
+        let mut soft_errors = 0u32;
+        for frame in 0..30 {
+            let bits = random_bits(120, 100 + frame);
+            let coded = ConvolutionalEncoder::new().encode_terminated(&bits);
+            // AWGN-ish soft channel at low SNR.
+            let soft: Vec<f64> = coded
+                .iter()
+                .map(|&b| {
+                    let tx = if b == 1 { 1.0 } else { -1.0 };
+                    let noise: f64 = (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0;
+                    tx + noise * 0.85
+                })
+                .collect();
+            let hard: Vec<u8> = soft.iter().map(|&s| u8::from(s > 0.0)).collect();
+            let soft_dec = dec.decode_terminated(&soft);
+            let hard_dec = dec.decode_hard(&hard);
+            soft_errors += soft_dec
+                .iter()
+                .zip(&bits)
+                .map(|(a, b)| u32::from(a != b))
+                .sum::<u32>();
+            hard_errors += hard_dec
+                .iter()
+                .zip(&bits)
+                .map(|(a, b)| u32::from(a != b))
+                .sum::<u32>();
+        }
+        assert!(
+            soft_errors < hard_errors,
+            "soft {soft_errors} should beat hard {hard_errors}"
+        );
+    }
+
+    #[test]
+    fn burst_beyond_capability_fails_but_returns_right_length() {
+        let dec = ViterbiDecoder::new();
+        let bits = random_bits(100, 8);
+        let mut coded = ConvolutionalEncoder::new().encode_terminated(&bits);
+        for s in coded.iter_mut().skip(50).take(30) {
+            *s ^= 1; // a 30-bit solid burst: uncorrectable
+        }
+        let decoded = dec.decode_hard(&coded);
+        assert_eq!(decoded.len(), bits.len());
+        assert_ne!(decoded, bits);
+    }
+}

@@ -1,0 +1,187 @@
+//! Receive-side behaviour of the Intel 82593 LAN controller.
+//!
+//! The study's receiver configuration (paper Section 4): "the kernel device
+//! driver was modified to place both the Ethernet controller and the modem
+//! control unit into 'promiscuous' mode and to log, for each incoming packet,
+//! every bit and all available status information, even if the packet failed
+//! the Ethernet CRC check. ... we enable promiscuous receive and disable
+//! automatic CRC filtering at the Ethernet level."
+//!
+//! [`RxFilter`] models the controller's accept/reject decision under any
+//! configuration — the tracing configuration above, or a normal production
+//! configuration (address filter + CRC filter on), which the `cell` and MAC
+//! experiments use to ask "what would a *deployed* station have seen?".
+
+use crate::network_id::{strip_network_id, NetworkId, NetworkIdFilter};
+use wavelan_net::ethernet::EthernetFrame;
+use wavelan_net::{MacAddr, ParseError};
+
+/// Why the controller rejected (or how it classified) an incoming frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RxDecision {
+    /// Delivered to the host.
+    Accept(EthernetFrame),
+    /// Rejected by the network-ID filter at the modem.
+    WrongNetworkId(NetworkId),
+    /// Rejected by the station-address filter (not promiscuous, not ours,
+    /// not broadcast/multicast).
+    WrongAddress(MacAddr),
+    /// Rejected by the CRC filter.
+    BadCrc,
+    /// Too mangled to frame at all (shorter than the minimal headers).
+    Unframeable(ParseError),
+}
+
+/// Receive-filter configuration of the controller + modem pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RxFilter {
+    /// This station's address (for the address filter).
+    pub station: MacAddr,
+    /// Accept frames regardless of destination address.
+    pub promiscuous: bool,
+    /// Drop frames whose FCS fails.
+    pub crc_filter: bool,
+    /// Modem-level network-ID filter.
+    pub network_id: NetworkIdFilter,
+}
+
+impl RxFilter {
+    /// The study's tracing configuration: promiscuous, CRC filter off,
+    /// all network IDs accepted (so "outsider" packets are logged too).
+    pub fn tracing(station: MacAddr) -> RxFilter {
+        RxFilter {
+            station,
+            promiscuous: true,
+            crc_filter: false,
+            network_id: NetworkIdFilter::AcceptAll,
+        }
+    }
+
+    /// A production configuration: address + CRC filtering on, locked to one
+    /// network ID.
+    pub fn production(station: MacAddr, id: NetworkId) -> RxFilter {
+        RxFilter {
+            station,
+            promiscuous: false,
+            crc_filter: true,
+            network_id: NetworkIdFilter::Only(id),
+        }
+    }
+
+    /// Runs the controller's decision procedure on the on-air bytes (network
+    /// ID + Ethernet frame), exactly in hardware order: network-ID filter,
+    /// framing, address recognition, CRC check.
+    pub fn decide(&self, wire: &[u8]) -> RxDecision {
+        let Some((id, eth_bytes)) = strip_network_id(wire) else {
+            return RxDecision::Unframeable(ParseError::Truncated {
+                needed: 2,
+                got: wire.len(),
+            });
+        };
+        if !self.network_id.accepts(id) {
+            return RxDecision::WrongNetworkId(id);
+        }
+        let frame = match EthernetFrame::parse(eth_bytes) {
+            Ok(f) => f,
+            Err(e) => return RxDecision::Unframeable(e),
+        };
+        if !self.promiscuous
+            && frame.dst != self.station
+            && !frame.dst.is_broadcast()
+            && !frame.dst.is_multicast()
+        {
+            return RxDecision::WrongAddress(frame.dst);
+        }
+        if self.crc_filter && !frame.fcs_ok {
+            return RxDecision::BadCrc;
+        }
+        RxDecision::Accept(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network_id::wrap_with_network_id;
+    use wavelan_net::ethernet::EtherType;
+
+    fn wire_frame(dst: MacAddr, id: NetworkId, corrupt: bool) -> Vec<u8> {
+        let payload = vec![0x5Au8; 64];
+        let mut eth = EthernetFrame::build(dst, MacAddr::station(9), EtherType::Ipv4, &payload);
+        if corrupt {
+            eth[30] ^= 0x01;
+        }
+        wrap_with_network_id(id, &eth)
+    }
+
+    #[test]
+    fn tracing_config_accepts_everything_parseable() {
+        let me = MacAddr::station(1);
+        let filter = RxFilter::tracing(me);
+        // Wrong address, wrong network id, bad CRC: all still accepted.
+        let wire = wire_frame(MacAddr::station(2), NetworkId(0x1234), true);
+        match filter.decide(&wire) {
+            RxDecision::Accept(f) => assert!(!f.fcs_ok),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn production_config_filters_by_address() {
+        let me = MacAddr::station(1);
+        let filter = RxFilter::production(me, NetworkId::TESTBED);
+        let wire = wire_frame(MacAddr::station(2), NetworkId::TESTBED, false);
+        assert!(matches!(filter.decide(&wire), RxDecision::WrongAddress(_)));
+        // Our own address and broadcast both pass.
+        let ours = wire_frame(me, NetworkId::TESTBED, false);
+        assert!(matches!(filter.decide(&ours), RxDecision::Accept(_)));
+        let bcast = wire_frame(MacAddr::BROADCAST, NetworkId::TESTBED, false);
+        assert!(matches!(filter.decide(&bcast), RxDecision::Accept(_)));
+    }
+
+    #[test]
+    fn production_config_filters_by_network_id() {
+        let me = MacAddr::station(1);
+        let filter = RxFilter::production(me, NetworkId::TESTBED);
+        let wire = wire_frame(me, NetworkId(0x0001), false);
+        assert!(matches!(
+            filter.decide(&wire),
+            RxDecision::WrongNetworkId(NetworkId(1))
+        ));
+    }
+
+    #[test]
+    fn production_config_filters_bad_crc() {
+        let me = MacAddr::station(1);
+        let filter = RxFilter::production(me, NetworkId::TESTBED);
+        let wire = wire_frame(me, NetworkId::TESTBED, true);
+        assert_eq!(filter.decide(&wire), RxDecision::BadCrc);
+    }
+
+    #[test]
+    fn unframeable_garbage() {
+        let filter = RxFilter::tracing(MacAddr::station(1));
+        assert!(matches!(filter.decide(&[0xFF]), RxDecision::Unframeable(_)));
+        assert!(matches!(
+            filter.decide(&[0xCA, 0xFE, 1, 2, 3]),
+            RxDecision::Unframeable(_)
+        ));
+    }
+
+    #[test]
+    fn corrupted_address_bypasses_filter_in_promiscuous_mode() {
+        // Section 7.4's "hundreds of invalid Ethernet addresses" were only
+        // observable because the tracing config is promiscuous.
+        let me = MacAddr::station(1);
+        let mut wire = wire_frame(me, NetworkId::TESTBED, false);
+        wire[2] ^= 0xF0; // corrupt the destination address on the air
+        assert!(matches!(
+            RxFilter::tracing(me).decide(&wire),
+            RxDecision::Accept(_)
+        ));
+        assert!(matches!(
+            RxFilter::production(me, NetworkId::TESTBED).decide(&wire),
+            RxDecision::WrongAddress(_)
+        ));
+    }
+}

@@ -1,0 +1,129 @@
+//! IEEE 802.3 CRC-32, as computed by the Ethernet frame check sequence (FCS).
+//!
+//! The WaveLAN's 82593 controller performs "CRC generation and checking"
+//! (paper Section 2); the study *disables automatic CRC filtering* at the
+//! receiver so damaged frames can be logged. We therefore need the real
+//! algorithm both to generate trailers on transmit and to re-verify them
+//! during analysis.
+//!
+//! This is the standard reflected CRC-32 with polynomial `0x04C11DB7`
+//! (reflected form `0xEDB88320`), initial value `0xFFFF_FFFF`, final XOR
+//! `0xFFFF_FFFF` — the same parameterization used by Ethernet, zip and zlib,
+//! so it can be validated against the well-known `"123456789"` check value
+//! `0xCBF43926`.
+
+/// Reflected polynomial for IEEE CRC-32.
+const POLY: u32 = 0xEDB8_8320;
+
+/// 256-entry lookup table, built at compile time.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Incremental CRC-32 state.
+///
+/// Use this when a frame is assembled from several slices (header, payload,
+/// padding) and the FCS must cover all of them without an intermediate copy.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Starts a fresh computation.
+    pub fn new() -> Crc32 {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Folds `data` into the running CRC.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut crc = self.state;
+        for &byte in data {
+            let idx = ((crc ^ byte as u32) & 0xFF) as usize;
+            crc = (crc >> 8) ^ TABLE[idx];
+        }
+        self.state = crc;
+    }
+
+    /// Finishes and returns the CRC value (host order; transmit little-endian
+    /// per 802.3 bit ordering — see [`crate::ethernet`]).
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(data);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_value_matches_standard() {
+        // The canonical CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut c = Crc32::new();
+        c.update(&data[..10]);
+        c.update(&data[10..17]);
+        c.update(&data[17..]);
+        assert_eq!(c.finish(), crc32(data));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let data = vec![0xA5u8; 64];
+        let base = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "flip at {byte}.{bit} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn known_vector_all_zero() {
+        // 32 zero bytes; value cross-checked against zlib's crc32().
+        assert_eq!(crc32(&[0u8; 32]), 0x190A_55AD);
+    }
+}

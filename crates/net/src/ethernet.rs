@@ -1,0 +1,202 @@
+//! Ethernet II framing with the 802.3 frame check sequence.
+//!
+//! WaveLAN presents itself to the host as an Ethernet: the 82593 controller
+//! does standard "framing, address recognition and filtering, CRC generation
+//! and checking" (paper Section 2). The modem-level 16-bit network ID that
+//! WaveLAN prepends on air is handled one layer down, in `wavelan-mac`; this
+//! module covers the portion visible to the host driver.
+//!
+//! Layout (lengths in bytes):
+//!
+//! ```text
+//! | dst 6 | src 6 | ethertype 2 | payload 46..1500 | FCS 4 |
+//! ```
+//!
+//! The builder *always* appends a valid FCS; the parser reports — but does not
+//! reject on — FCS failure, because the study's receiver runs with "automatic
+//! CRC filtering" disabled so that damaged frames reach the trace.
+
+use crate::crc32::crc32;
+use crate::{MacAddr, ParseError};
+use bytes::{BufMut, BytesMut};
+
+/// Bytes of destination + source + ethertype.
+pub const ETHERNET_HEADER_LEN: usize = 14;
+/// Bytes of the trailing frame check sequence.
+pub const ETHERNET_TRAILER_LEN: usize = 4;
+/// Smallest payload a conforming frame may carry (padding applies below this).
+pub const MIN_PAYLOAD: usize = 46;
+/// Largest payload (we do not model jumbo frames).
+pub const MAX_PAYLOAD: usize = 1500;
+
+/// Well-known ethertype values used by the testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// IPv4, `0x0800`.
+    Ipv4,
+    /// ARP, `0x0806` — the paper notes many "outsider" packets were ARP.
+    Arp,
+    /// Anything else, preserved verbatim.
+    Other(u16),
+}
+
+impl EtherType {
+    /// The on-wire 16-bit value.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Other(v) => v,
+        }
+    }
+
+    /// Classifies an on-wire value.
+    pub fn from_u16(v: u16) -> EtherType {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+/// A parsed view of an Ethernet II frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EthernetFrame {
+    /// Destination station address.
+    pub dst: MacAddr,
+    /// Source station address.
+    pub src: MacAddr,
+    /// Payload protocol.
+    pub ethertype: EtherType,
+    /// Payload bytes (between header and FCS). May include padding.
+    pub payload: Vec<u8>,
+    /// Whether the trailing FCS verified against the received bytes.
+    pub fcs_ok: bool,
+}
+
+impl EthernetFrame {
+    /// Serializes a frame: header, payload (padded to the 46-byte minimum),
+    /// and a freshly computed FCS.
+    pub fn build(dst: MacAddr, src: MacAddr, ethertype: EtherType, payload: &[u8]) -> Vec<u8> {
+        let padded_len = payload.len().max(MIN_PAYLOAD);
+        let mut buf =
+            BytesMut::with_capacity(ETHERNET_HEADER_LEN + padded_len + ETHERNET_TRAILER_LEN);
+        buf.put_slice(dst.as_bytes());
+        buf.put_slice(src.as_bytes());
+        buf.put_u16(ethertype.to_u16());
+        buf.put_slice(payload);
+        buf.put_bytes(0, padded_len - payload.len());
+        let fcs = crc32(&buf);
+        // The FCS is transmitted least-significant-byte first (802.3 bit order).
+        buf.put_u32_le(fcs);
+        buf.to_vec()
+    }
+
+    /// Parses a frame, tolerating body damage. Only an outright short buffer
+    /// (shorter than header + FCS) is an error; a bad FCS is reported through
+    /// [`EthernetFrame::fcs_ok`].
+    pub fn parse(bytes: &[u8]) -> Result<EthernetFrame, ParseError> {
+        let min = ETHERNET_HEADER_LEN + ETHERNET_TRAILER_LEN;
+        if bytes.len() < min {
+            return Err(ParseError::Truncated {
+                needed: min,
+                got: bytes.len(),
+            });
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&bytes[0..6]);
+        src.copy_from_slice(&bytes[6..12]);
+        let ethertype = EtherType::from_u16(u16::from_be_bytes([bytes[12], bytes[13]]));
+        let body_end = bytes.len() - ETHERNET_TRAILER_LEN;
+        let payload = bytes[ETHERNET_HEADER_LEN..body_end].to_vec();
+        let wire_fcs = u32::from_le_bytes([
+            bytes[body_end],
+            bytes[body_end + 1],
+            bytes[body_end + 2],
+            bytes[body_end + 3],
+        ]);
+        let fcs_ok = crc32(&bytes[..body_end]) == wire_fcs;
+        Ok(EthernetFrame {
+            dst: MacAddr(dst),
+            src: MacAddr(src),
+            ethertype,
+            payload,
+            fcs_ok,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (MacAddr, MacAddr, Vec<u8>) {
+        (
+            MacAddr::station(1),
+            MacAddr::station(2),
+            (0u8..100).collect(),
+        )
+    }
+
+    #[test]
+    fn build_parse_round_trip() {
+        let (dst, src, payload) = sample();
+        let wire = EthernetFrame::build(dst, src, EtherType::Ipv4, &payload);
+        let frame = EthernetFrame::parse(&wire).unwrap();
+        assert_eq!(frame.dst, dst);
+        assert_eq!(frame.src, src);
+        assert_eq!(frame.ethertype, EtherType::Ipv4);
+        assert_eq!(&frame.payload[..payload.len()], &payload[..]);
+        assert!(frame.fcs_ok);
+    }
+
+    #[test]
+    fn short_payload_is_padded() {
+        let (dst, src, _) = sample();
+        let wire = EthernetFrame::build(dst, src, EtherType::Arp, b"hi");
+        assert_eq!(
+            wire.len(),
+            ETHERNET_HEADER_LEN + MIN_PAYLOAD + ETHERNET_TRAILER_LEN
+        );
+        let frame = EthernetFrame::parse(&wire).unwrap();
+        assert_eq!(frame.payload.len(), MIN_PAYLOAD);
+        assert_eq!(&frame.payload[..2], b"hi");
+        assert!(frame.fcs_ok);
+    }
+
+    #[test]
+    fn corrupted_body_fails_fcs_but_parses() {
+        let (dst, src, payload) = sample();
+        let mut wire = EthernetFrame::build(dst, src, EtherType::Ipv4, &payload);
+        wire[20] ^= 0x40;
+        let frame = EthernetFrame::parse(&wire).unwrap();
+        assert!(!frame.fcs_ok);
+    }
+
+    #[test]
+    fn corrupted_address_still_visible() {
+        // Section 7.4: corrupted station addresses must still be observable.
+        let (dst, src, payload) = sample();
+        let mut wire = EthernetFrame::build(dst, src, EtherType::Ipv4, &payload);
+        wire[0] ^= 0xFF;
+        let frame = EthernetFrame::parse(&wire).unwrap();
+        assert_ne!(frame.dst, dst);
+        assert_eq!(frame.dst.bit_distance(&dst), 8);
+        assert!(!frame.fcs_ok);
+    }
+
+    #[test]
+    fn too_short_is_error() {
+        let err = EthernetFrame::parse(&[0u8; 10]).unwrap_err();
+        assert!(matches!(err, ParseError::Truncated { .. }));
+    }
+
+    #[test]
+    fn ethertype_round_trip() {
+        for et in [EtherType::Ipv4, EtherType::Arp, EtherType::Other(0x88cc)] {
+            assert_eq!(EtherType::from_u16(et.to_u16()), et);
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! The automatic gain control (AGC) model: how received power becomes the
+//! *signal level* and *silence level* the WaveLAN modem reports, and how a
+//! too-slow AGC loses packet preambles.
+//!
+//! Paper Section 2: "The signal and silence levels (5 bits) are derived from
+//! the receiver's automatic gain control (AGC) setting just after the
+//! beginning and end of the packet, respectively." (The paper's own tables
+//! show values up to 41, so the field is wider in practice; we allow 0–63.)
+//!
+//! Two calibration constants anchor the whole reproduction to the paper's
+//! unit system and are used throughout the workspace:
+//!
+//! * [`DB_PER_LEVEL_UNIT`] — 1.5 dB per AGC unit. This is pinned by Table 4:
+//!   a plaster/wire-mesh wall costs ≈5 units and a concrete wall ≈2 units,
+//!   which at 1.5 dB/unit are 7.5 dB and 3 dB — right in the measured range
+//!   for those materials at 900 MHz.
+//! * [`LEVEL_FLOOR_DBM`] — the power that reads as level 0. With −93 dBm the
+//!   quiet-room silence level comes out ≈3 (matching Tables 3–9) and the
+//!   in-room signal level ≈30 at 7 ft (matching Table 2's conditions).
+//!
+//! Section 5.1 conjectures that residual in-room packet loss "could indicate
+//! that the modem unit's AGC occasionally reacts too slowly and causes the
+//! beginning of a packet to be missed"; [`AgcModel::miss_probability`] models
+//! exactly that acquisition failure as a logistic function of the raw
+//! (pre-despreading) SINR at the preamble.
+
+use crate::baseband::gaussian;
+use crate::math::{db_to_linear, dbm_sum};
+use rand::Rng;
+
+/// Decibels per AGC level unit (see module docs for calibration).
+pub const DB_PER_LEVEL_UNIT: f64 = 1.5;
+
+/// Received power that maps to level 0.
+pub const LEVEL_FLOOR_DBM: f64 = -93.0;
+
+/// Largest reportable level (6-bit field).
+pub const MAX_LEVEL: u8 = 63;
+
+/// Default thermal noise floor seen by the AGC. −88.5 dBm reads as silence
+/// level 3.0, matching the paper's quiet-environment silence of 2–4.
+pub const THERMAL_NOISE_DBM: f64 = -88.5;
+
+/// A reported AGC level (signal or silence), 0–63.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SignalLevel(pub u8);
+
+impl SignalLevel {
+    /// The raw reported value.
+    pub fn value(self) -> u8 {
+        self.0
+    }
+}
+
+impl core::fmt::Display for SignalLevel {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Converts a power in dBm to (unquantized) AGC level units.
+pub fn power_to_level_units(dbm: f64) -> f64 {
+    (dbm - LEVEL_FLOOR_DBM) / DB_PER_LEVEL_UNIT
+}
+
+/// Converts AGC level units back to dBm.
+pub fn level_units_to_dbm(units: f64) -> f64 {
+    LEVEL_FLOOR_DBM + units * DB_PER_LEVEL_UNIT
+}
+
+/// The AGC model: reporting jitter plus the two preamble-acquisition failure
+/// mechanisms.
+///
+/// A packet start can be missed two ways, and the study's data needs both:
+///
+/// 1. **AGC slowness** at low *absolute* power — Section 5.1's conjecture
+///    that "the modem unit's AGC occasionally reacts too slowly and causes
+///    the beginning of a packet to be missed". A function of the faded
+///    signal power (in level units), independent of interference. This is
+///    what loses packets in the attenuation experiments (body, multi-room).
+/// 2. **Correlation failure** against co-channel interference — the preamble
+///    correlator integrates long enough to acquire at slightly *negative*
+///    despread SINR, but a strong in-band burst (the SS phone inches away)
+///    swamps it. A function of the despread-domain SINR. This is what loses
+///    half the packets in Table 11's "near" trials.
+#[derive(Debug, Clone, Copy)]
+pub struct AgcModel {
+    /// Standard deviation of the level-report jitter, in level units.
+    /// Calibrated to the σ ≈ 0.6 the paper's stable trials show (Table 4).
+    pub jitter_sigma_units: f64,
+    /// Signal level (units) at which AGC slowness misses half the preambles.
+    pub agc_miss_center_units: f64,
+    /// Logistic width of the AGC-slowness curve, level units.
+    pub agc_miss_width_units: f64,
+    /// Despread SINR (dB) at which correlation acquisition misses half.
+    pub corr_miss_center_db: f64,
+    /// Logistic width of the correlation curve, dB.
+    pub corr_miss_width_db: f64,
+}
+
+impl Default for AgcModel {
+    fn default() -> Self {
+        AgcModel {
+            jitter_sigma_units: 0.55,
+            // Calibrated so loss ≈2.5% at the human-body operating point
+            // (level ≈6.7, Tables 8–9) and ≈0.1% at multi-room Tx5
+            // (level ≈9.5, Table 5).
+            agc_miss_center_units: 3.85,
+            agc_miss_width_units: 0.78,
+            // Acquisition survives to ≈−2 dB despread SINR; an SS-phone
+            // burst at −7 dB kills it (Table 11's ≈52% loss at 52% lethal
+            // duty).
+            corr_miss_center_db: -3.0,
+            corr_miss_width_db: 1.0,
+        }
+    }
+}
+
+impl AgcModel {
+    /// Reports the AGC level for a total received power, with measurement
+    /// jitter, quantized and clamped to the 6-bit field.
+    pub fn report_level<R: Rng + ?Sized>(&self, total_power_dbm: f64, rng: &mut R) -> SignalLevel {
+        let units = power_to_level_units(total_power_dbm) + gaussian(rng, self.jitter_sigma_units);
+        SignalLevel(units.round().clamp(0.0, f64::from(MAX_LEVEL)) as u8)
+    }
+
+    /// AGC-slowness miss probability at the given *faded* signal power.
+    pub fn agc_miss_probability(&self, faded_signal_dbm: f64) -> f64 {
+        let units = power_to_level_units(faded_signal_dbm);
+        1.0 / (1.0 + ((units - self.agc_miss_center_units) / self.agc_miss_width_units).exp())
+    }
+
+    /// Correlation-acquisition miss probability at the given despread SINR.
+    pub fn corr_miss_probability(&self, despread_sinr_db: f64) -> f64 {
+        1.0 / (1.0
+            + ((despread_sinr_db - self.corr_miss_center_db) / self.corr_miss_width_db).exp())
+    }
+
+    /// Combined miss probability (either mechanism fires independently).
+    pub fn miss_probability(&self, faded_signal_dbm: f64, despread_sinr_db: f64) -> f64 {
+        let p1 = self.agc_miss_probability(faded_signal_dbm);
+        let p2 = self.corr_miss_probability(despread_sinr_db);
+        1.0 - (1.0 - p1) * (1.0 - p2)
+    }
+
+    /// Total AGC-visible power: the linear sum of all co-channel components.
+    pub fn total_power_dbm<I: IntoIterator<Item = f64>>(powers_dbm: I) -> f64 {
+        dbm_sum(powers_dbm)
+    }
+}
+
+/// Raw SINR in dB of a signal against a set of co-channel powers.
+pub fn sinr_db(signal_dbm: f64, noise_and_interference_dbm: &[f64]) -> f64 {
+    let denom_mw: f64 = noise_and_interference_dbm
+        .iter()
+        .map(|&p| db_to_linear(p))
+        .sum();
+    signal_dbm - crate::math::mw_to_dbm(denom_mw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn calibration_anchors() {
+        // Thermal floor reads as silence ≈ 3.
+        assert!((power_to_level_units(THERMAL_NOISE_DBM) - 3.0).abs() < 0.01);
+        // Level 30 corresponds to −48 dBm.
+        assert!((level_units_to_dbm(30.0) - (-48.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unit_round_trip() {
+        for dbm in [-93.0, -70.0, -48.0, -30.0] {
+            assert!((level_units_to_dbm(power_to_level_units(dbm)) - dbm).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn report_level_tracks_power() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let agc = AgcModel::default();
+        let n = 10_000;
+        let mean: f64 = (0..n)
+            .map(|_| f64::from(agc.report_level(-48.0, &mut rng).value()))
+            .sum::<f64>()
+            / f64::from(n);
+        assert!((mean - 30.0).abs() < 0.1, "{mean}");
+    }
+
+    #[test]
+    fn report_level_clamps() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let agc = AgcModel::default();
+        assert_eq!(agc.report_level(-200.0, &mut rng).value(), 0);
+        assert_eq!(agc.report_level(20.0, &mut rng).value(), MAX_LEVEL);
+    }
+
+    #[test]
+    fn agc_miss_calibration() {
+        let agc = AgcModel::default();
+        // Body operating point: with the mean diversity fade (+1.5 dB) the
+        // effective level is ≈7 units → a percent or two of loss.
+        let p_body = agc.agc_miss_probability(level_units_to_dbm(7.0));
+        assert!((0.005..0.05).contains(&p_body), "{p_body}");
+        // Tx5 point (level ≈9.5 + fade): well under 0.5%.
+        assert!(agc.agc_miss_probability(level_units_to_dbm(11.0)) < 0.005);
+        // Deep attenuation: mostly missed.
+        assert!(agc.agc_miss_probability(level_units_to_dbm(2.0)) > 0.9);
+    }
+
+    #[test]
+    fn corr_miss_calibration() {
+        let agc = AgcModel::default();
+        // Comfortable SINR: essentially never.
+        assert!(agc.corr_miss_probability(6.0) < 2e-4);
+        // Mild negative SINR: acquisition still mostly works (long preamble
+        // correlation).
+        assert!(agc.corr_miss_probability(-1.0) < 0.2);
+        // A jam-strength burst: essentially always missed.
+        assert!(agc.corr_miss_probability(-7.0) > 0.95);
+    }
+
+    #[test]
+    fn combined_miss_composes() {
+        let agc = AgcModel::default();
+        let strong = level_units_to_dbm(30.0);
+        // Strong signal, clean channel: only the floor terms.
+        assert!(agc.miss_probability(strong, 30.0) < 1e-6);
+        // Either mechanism alone dominates the combination.
+        let p = agc.miss_probability(level_units_to_dbm(4.0), 30.0);
+        assert!((p - agc.agc_miss_probability(level_units_to_dbm(4.0))).abs() < 1e-6);
+        let q = agc.miss_probability(strong, -7.0);
+        assert!((q - agc.corr_miss_probability(-7.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sinr_with_interference() {
+        // Equal interferer halves the SINR budget relative to noise alone.
+        let quiet = sinr_db(-50.0, &[THERMAL_NOISE_DBM]);
+        let jammed = sinr_db(-50.0, &[THERMAL_NOISE_DBM, -60.0]);
+        assert!(quiet > jammed);
+        assert!((quiet - 38.5).abs() < 0.01);
+        // Interferer dominates noise: SINR ≈ signal − interferer.
+        assert!((jammed - 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn total_power_sums_linearly() {
+        let total = AgcModel::total_power_dbm([-50.0, -50.0, -50.0]);
+        assert!((total - (-50.0 + 4.771)).abs() < 0.01);
+    }
+}

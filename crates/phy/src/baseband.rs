@@ -1,0 +1,173 @@
+//! Minimal complex-baseband toolkit for the chip-level modem.
+//!
+//! The event-driven experiments never touch this module (they use closed-form
+//! error rates); it exists so the modem chain — DQPSK → spreading → AWGN →
+//! despreading → DQPSK demod — can be simulated end-to-end and the closed
+//! forms validated against it.
+
+use rand::Rng;
+
+/// A complex sample. Deliberately tiny: just what the modem chain needs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// In-phase component.
+    pub re: f64,
+    /// Quadrature component.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Constructs from rectangular coordinates.
+    pub fn new(re: f64, im: f64) -> Complex {
+        Complex { re, im }
+    }
+
+    /// The unit phasor `e^{jθ}`.
+    pub fn from_phase(theta: f64) -> Complex {
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Complex {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude `|z|²`.
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Argument (phase) in `(-π, π]`.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, k: f64) -> Complex {
+        Complex {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+}
+
+impl core::ops::Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
+    }
+}
+
+impl core::ops::Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
+    }
+}
+
+impl core::ops::Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+/// Draws a zero-mean Gaussian sample with the given standard deviation using
+/// the Box–Muller transform. We avoid `rand_distr` to stay within the
+/// approved dependency set.
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> f64 {
+    // Box–Muller; u1 in (0,1] to avoid ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Adds complex AWGN of per-component variance `n0/2` to each sample, i.e.
+/// total noise power `n0` per complex sample.
+pub fn add_awgn<R: Rng + ?Sized>(rng: &mut R, samples: &mut [Complex], n0: f64) {
+    let sigma = (n0 / 2.0).sqrt();
+    for s in samples {
+        s.re += gaussian(rng, sigma);
+        s.im += gaussian(rng, sigma);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn complex_arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        let p = a * b;
+        assert!((p.re - 5.0).abs() < 1e-12);
+        assert!((p.im - 5.0).abs() < 1e-12);
+        assert_eq!((a + b).re, 4.0);
+        assert_eq!((a - b).im, 3.0);
+        assert_eq!(a.conj().im, -2.0);
+    }
+
+    #[test]
+    fn phasor_magnitude_is_one() {
+        for k in 0..8 {
+            let z = Complex::from_phase(k as f64 * 0.7);
+            assert!((z.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn arg_round_trip() {
+        for theta in [-3.0, -1.5, 0.0, 0.3, 1.2, 3.1] {
+            let z = Complex::from_phase(theta);
+            assert!((z.arg() - theta).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let sigma = 2.5;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng, sigma)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!(
+            (var - sigma * sigma).abs() / (sigma * sigma) < 0.02,
+            "var {var}"
+        );
+    }
+
+    #[test]
+    fn awgn_power_matches_n0() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut samples = vec![Complex::default(); 100_000];
+        let n0 = 0.8;
+        add_awgn(&mut rng, &mut samples, n0);
+        let power = samples.iter().map(|s| s.norm_sq()).sum::<f64>() / samples.len() as f64;
+        assert!((power - n0).abs() / n0 < 0.03, "power {power}");
+    }
+}

@@ -1,0 +1,259 @@
+//! DQPSK modulation: differential encoding, symbol mapping, demodulation, and
+//! closed-form bit error rates.
+//!
+//! "The transmitter applies DQPSK modulation to a 2 megabit/s data stream,
+//! yielding a 1 megabaud signal" (paper Section 2). Differential QPSK carries
+//! each dibit in the *phase change* between consecutive symbols, so the
+//! receiver needs no absolute carrier phase reference — the right choice for
+//! an indoor multipath channel where the phase wanders.
+//!
+//! Two representations coexist here:
+//!
+//! * a working symbol-level codec ([`DqpskModulator`] / [`DqpskDemodulator`])
+//!   used by the chip-level validation path, and
+//! * closed-form BER functions used by the packet-level fast path
+//!   ([`dqpsk_ber`], with [`qpsk_ber`]/[`dbpsk_ber`] for comparison benches).
+
+use crate::baseband::Complex;
+use crate::math::q;
+use std::f64::consts::FRAC_PI_2;
+
+/// Gray mapping from a dibit to a phase increment, in multiples of π/2:
+/// `00→0, 01→+π/2, 11→+π, 10→+3π/2`.
+///
+/// Gray coding makes the most likely symbol error (adjacent phase) cost one
+/// bit, which the closed-form BER assumes.
+fn dibit_to_quadrant(dibit: u8) -> u8 {
+    match dibit & 0b11 {
+        0b00 => 0,
+        0b01 => 1,
+        0b11 => 2,
+        0b10 => 3,
+        _ => unreachable!(),
+    }
+}
+
+/// Inverse of [`dibit_to_quadrant`].
+fn quadrant_to_dibit(quadrant: u8) -> u8 {
+    match quadrant & 0b11 {
+        0 => 0b00,
+        1 => 0b01,
+        2 => 0b11,
+        3 => 0b10,
+        _ => unreachable!(),
+    }
+}
+
+/// Differential QPSK modulator. Stateful: remembers the previous symbol phase.
+#[derive(Debug, Clone)]
+pub struct DqpskModulator {
+    /// Current absolute phase, in quadrants (0..4).
+    phase_quadrants: u8,
+}
+
+impl DqpskModulator {
+    /// Starts with the reference phase at 0.
+    pub fn new() -> DqpskModulator {
+        DqpskModulator { phase_quadrants: 0 }
+    }
+
+    /// Modulates one dibit (two bits, `b1b0` in the low bits) into the next
+    /// unit-energy symbol.
+    pub fn modulate_dibit(&mut self, dibit: u8) -> Complex {
+        self.phase_quadrants = (self.phase_quadrants + dibit_to_quadrant(dibit)) & 0b11;
+        Complex::from_phase(f64::from(self.phase_quadrants) * FRAC_PI_2)
+    }
+
+    /// Modulates a byte slice, MSB-first within each byte, two bits per
+    /// symbol. Returns `4 × len` symbols.
+    pub fn modulate_bytes(&mut self, bytes: &[u8]) -> Vec<Complex> {
+        let mut out = Vec::with_capacity(bytes.len() * 4);
+        for &b in bytes {
+            for shift in [6u8, 4, 2, 0] {
+                out.push(self.modulate_dibit((b >> shift) & 0b11));
+            }
+        }
+        out
+    }
+}
+
+impl Default for DqpskModulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Differential QPSK demodulator: recovers dibits from phase *differences*
+/// between consecutive symbols, so it needs the previous (possibly noisy)
+/// symbol only.
+#[derive(Debug, Clone)]
+pub struct DqpskDemodulator {
+    prev: Complex,
+}
+
+impl DqpskDemodulator {
+    /// Starts with the reference phase at 0 (matching [`DqpskModulator`]).
+    pub fn new() -> DqpskDemodulator {
+        DqpskDemodulator {
+            prev: Complex::new(1.0, 0.0),
+        }
+    }
+
+    /// Demodulates one received symbol into a dibit by rotating the
+    /// differential product into the nearest quadrant.
+    pub fn demodulate_symbol(&mut self, symbol: Complex) -> u8 {
+        let diff = symbol * self.prev.conj();
+        self.prev = symbol;
+        // Decision: which multiple of π/2 is closest to arg(diff)?
+        let quadrant = (diff.arg() / FRAC_PI_2).round().rem_euclid(4.0) as u8 & 0b11;
+        quadrant_to_dibit(quadrant)
+    }
+
+    /// Demodulates a symbol stream back into bytes (4 symbols per byte,
+    /// MSB-first). Trailing symbols that don't fill a byte are dropped.
+    pub fn demodulate_bytes(&mut self, symbols: &[Complex]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(symbols.len() / 4);
+        for chunk in symbols.chunks_exact(4) {
+            let mut byte = 0u8;
+            for &s in chunk {
+                byte = (byte << 2) | self.demodulate_symbol(s);
+            }
+            out.push(byte);
+        }
+        out
+    }
+}
+
+impl Default for DqpskDemodulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Closed-form BER for coherent, Gray-coded QPSK: `Pb = Q(√(2·Eb/N0))`.
+pub fn qpsk_ber(ebn0_linear: f64) -> f64 {
+    q((2.0 * ebn0_linear).sqrt())
+}
+
+/// Closed-form BER for differentially-detected BPSK: `Pb = e^(−Eb/N0) / 2`.
+pub fn dbpsk_ber(ebn0_linear: f64) -> f64 {
+    0.5 * (-ebn0_linear).exp()
+}
+
+/// Approximate BER for Gray-coded, differentially-detected DQPSK.
+///
+/// Exact DQPSK BER needs the Marcum Q function; the standard engineering
+/// approximation charges differential detection of QPSK a ≈2.3 dB penalty
+/// relative to coherent QPSK:
+///
+/// `Pb ≈ Q(√(2·Eb/N0 / 10^(2.3/10))) = Q(√(1.1754·Eb/N0))`
+///
+/// Accuracy is a fraction of a dB across the 10⁻² … 10⁻⁸ range we care about,
+/// well inside the calibration slack of the reproduction. Validated against
+/// the symbol-level simulation in `tests/modem_validation.rs`.
+pub fn dqpsk_ber(ebn0_linear: f64) -> f64 {
+    const PENALTY_DB: f64 = 2.3;
+    let derate = 10f64.powf(-PENALTY_DB / 10.0);
+    q((2.0 * ebn0_linear * derate).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseband::add_awgn;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gray_map_round_trip() {
+        for dibit in 0..4u8 {
+            assert_eq!(quadrant_to_dibit(dibit_to_quadrant(dibit)), dibit);
+        }
+    }
+
+    #[test]
+    fn modulate_demodulate_identity() {
+        let data: Vec<u8> = (0..=255).collect();
+        let mut m = DqpskModulator::new();
+        let mut d = DqpskDemodulator::new();
+        let symbols = m.modulate_bytes(&data);
+        assert_eq!(symbols.len(), data.len() * 4);
+        assert_eq!(d.demodulate_bytes(&symbols), data);
+    }
+
+    #[test]
+    fn constant_phase_rotation_is_transparent() {
+        // Differential detection must not care about an absolute phase offset —
+        // the whole point of the D in DQPSK.
+        let data = vec![0xC3u8, 0x5A, 0xFF, 0x00, 0x17];
+        let mut m = DqpskModulator::new();
+        let rot = Complex::from_phase(0.9);
+        let symbols: Vec<Complex> = m
+            .modulate_bytes(&data)
+            .into_iter()
+            .map(|s| s * rot)
+            .collect();
+        let mut d = DqpskDemodulator::new();
+        // The first symbol's differential reference is the unrotated origin, so
+        // skip byte 0 and check the rest (a real receiver gets a preamble).
+        let got = d.demodulate_bytes(&symbols);
+        assert_eq!(&got[1..], &data[1..]);
+    }
+
+    #[test]
+    fn survives_mild_noise() {
+        let data = vec![0x55u8; 512];
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut m = DqpskModulator::new();
+        let mut symbols = m.modulate_bytes(&data);
+        // Es/N0 = 16 dB → essentially error-free for this length.
+        add_awgn(
+            &mut rng,
+            &mut symbols,
+            1.0 / crate::math::db_to_linear(16.0),
+        );
+        let mut d = DqpskDemodulator::new();
+        assert_eq!(d.demodulate_bytes(&symbols), data);
+    }
+
+    #[test]
+    fn ber_functions_are_monotone_and_ordered() {
+        let mut prev_dq = 1.0;
+        for snr_db in [0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0] {
+            let g = crate::math::db_to_linear(snr_db);
+            let dq = dqpsk_ber(g);
+            assert!(dq < prev_dq, "dqpsk_ber not decreasing at {snr_db} dB");
+            // Coherent QPSK always beats DQPSK; DQPSK beats nothing at 0 dB but
+            // must be within the (0, 0.5] probability range.
+            assert!(qpsk_ber(g) < dq);
+            assert!(dq > 0.0 && dq <= 0.5);
+            prev_dq = dq;
+        }
+    }
+
+    #[test]
+    fn dqpsk_penalty_is_about_2_3_db() {
+        // Find Eb/N0 where each modem hits BER 1e-5; the gap should be ≈2.3 dB.
+        let target = 1e-5;
+        let solve = |f: &dyn Fn(f64) -> f64| {
+            let mut lo = 0.0;
+            let mut hi = 30.0;
+            for _ in 0..60 {
+                let mid = 0.5 * (lo + hi);
+                if f(crate::math::db_to_linear(mid)) > target {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            lo
+        };
+        let qpsk_db = solve(&qpsk_ber);
+        let dqpsk_db = solve(&dqpsk_ber);
+        assert!(
+            (dqpsk_db - qpsk_db - 2.3).abs() < 0.05,
+            "gap {}",
+            dqpsk_db - qpsk_db
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Validates the fast-path closed-form error rates against the slow-path
+//! chip-level modem simulation (DQPSK → Barker-11 spreading → AWGN →
+//! correlation despreading → DQPSK demodulation).
+//!
+//! This is the evidence that the packet-level experiments rest on a real
+//! waveform model rather than free-floating formulas.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wavelan_phy::baseband::add_awgn;
+use wavelan_phy::math::db_to_linear;
+use wavelan_phy::modulation::{dqpsk_ber, DqpskDemodulator, DqpskModulator};
+use wavelan_phy::spreading::SpreadingCode;
+
+/// Runs the full chip-level chain at a given chip-domain Es/N0 and measures
+/// the bit error rate over `n_bytes` of payload.
+fn measure_chip_level_ber(ebn0_db: f64, n_bytes: usize, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let code = SpreadingCode::barker11();
+    let data: Vec<u8> = (0..n_bytes).map(|i| (i * 131 + 7) as u8).collect();
+
+    let mut modulator = DqpskModulator::new();
+    let symbols = modulator.modulate_bytes(&data);
+    let mut chips = code.spread(&symbols);
+
+    // Symbol energy is 1 (unit phasors). Each bit carries Es/2.
+    // After spreading, each chip has energy 1 as well; the correlator
+    // averages 11 chips, so chip-domain noise n0 relates to symbol-domain
+    // Es/N0 by the spreading factor. Work backwards: we want a given Eb/N0
+    // in the decision (despread) domain; Es = 2·Eb, and despreading reduces
+    // the per-sample noise power by 11.
+    let ebn0 = db_to_linear(ebn0_db);
+    let esn0_despread = 2.0 * ebn0;
+    let n0_chip = 11.0 / esn0_despread;
+    add_awgn(&mut rng, &mut chips, n0_chip);
+
+    let despread = code.despread(&chips);
+    let mut demod = DqpskDemodulator::new();
+    let decoded = demod.demodulate_bytes(&despread);
+
+    let bit_errors: u32 = data
+        .iter()
+        .zip(&decoded)
+        .map(|(a, b)| (a ^ b).count_ones())
+        .sum();
+    f64::from(bit_errors) / (n_bytes as f64 * 8.0)
+}
+
+#[test]
+fn closed_form_matches_simulation_at_moderate_snr() {
+    // Compare at operating points where a simulation of reasonable size has
+    // enough errors to estimate the rate. The closed form is an engineering
+    // approximation (≈2.3 dB differential penalty), so allow a factor-of-two
+    // band — equivalent to a fraction of a dB, far tighter than any
+    // calibration decision it feeds.
+    for (ebn0_db, n_bytes) in [(5.0, 50_000), (7.0, 80_000), (9.0, 150_000)] {
+        let simulated = measure_chip_level_ber(ebn0_db, n_bytes, 42);
+        let predicted = dqpsk_ber(db_to_linear(ebn0_db));
+        assert!(
+            simulated < predicted * 2.0 && simulated > predicted / 2.0,
+            "at {ebn0_db} dB: simulated {simulated:.3e}, predicted {predicted:.3e}"
+        );
+    }
+}
+
+#[test]
+fn clean_channel_is_error_free_end_to_end() {
+    let ber = measure_chip_level_ber(20.0, 30_000, 7);
+    assert_eq!(ber, 0.0);
+}
+
+#[test]
+fn ber_degrades_monotonically_with_noise() {
+    let mut prev = -1.0;
+    for ebn0_db in [9.0, 7.0, 5.0, 3.0, 1.0] {
+        let ber = measure_chip_level_ber(ebn0_db, 40_000, 11);
+        assert!(
+            ber >= prev,
+            "BER not monotone at {ebn0_db} dB: {ber} < {prev}"
+        );
+        prev = ber;
+    }
+}

@@ -1,0 +1,128 @@
+//! The packet trace format — the boundary between the testbed and the
+//! analysis pipeline.
+//!
+//! Paper Section 4: the receiver logs, "for each incoming packet, every bit
+//! and all available status information, even if the packet failed the
+//! Ethernet CRC check". A [`TraceRecord`] is exactly that: the delivered
+//! bytes (after any truncation and bit corruption) and the four status
+//! fields. Everything in `wavelan-analysis` consumes only this type.
+//!
+//! Records optionally carry [`GroundTruth`] — which station really sent the
+//! packet and with what sequence number. The analysis pipeline *never* reads
+//! it (the paper had no such oracle); it exists so tests can score the
+//! heuristic matcher's accuracy.
+
+use serde::{Deserialize, Serialize};
+
+/// Ground truth attached by the simulator for validation only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// Index of the transmitting station.
+    pub src_station: usize,
+    /// Test sequence number, if the packet was a test packet.
+    pub seq: Option<u32>,
+    /// Number of corrupted bits within the delivered bytes.
+    pub corrupted_bits: u32,
+    /// Whether delivery stopped before the full frame.
+    pub truncated: bool,
+}
+
+/// One logged packet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Arrival time (start of packet), virtual ns.
+    pub time_ns: u64,
+    /// Delivered on-air bytes: network-ID wrapper + Ethernet frame, with any
+    /// corruption applied and truncated at the point the modem lost lock.
+    pub bytes: Vec<u8>,
+    /// Reported AGC signal level.
+    pub level: u8,
+    /// Reported AGC silence level.
+    pub silence: u8,
+    /// Reported 4-bit signal quality.
+    pub quality: u8,
+    /// Antenna the receiver selected (0/1).
+    pub antenna: u8,
+    /// Validation-only ground truth (ignored by analysis).
+    pub truth: Option<GroundTruth>,
+}
+
+/// A receiver's log for one trial.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Logged packets in arrival order.
+    pub records: Vec<TraceRecord>,
+    /// How many test packets the sender actually put on the air (known to
+    /// the experimenter, as in the paper — loss is measured against this).
+    pub packets_transmitted: u64,
+    /// Packets the sending MAC abandoned after excessive collisions (these
+    /// never reached the air and are excluded from loss accounting).
+    pub packets_dropped_by_mac: u64,
+}
+
+impl Trace {
+    /// Appends a record.
+    pub fn push(&mut self, record: TraceRecord) {
+        self.records.push(record);
+    }
+
+    /// Number of logged packets.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> TraceRecord {
+        TraceRecord {
+            time_ns: 1_000_000,
+            bytes: vec![0xCA, 0xFE, 1, 2, 3],
+            level: 29,
+            silence: 3,
+            quality: 15,
+            antenna: 0,
+            truth: Some(GroundTruth {
+                src_station: 0,
+                seq: Some(17),
+                corrupted_bits: 0,
+                truncated: false,
+            }),
+        }
+    }
+
+    #[test]
+    fn trace_accumulates() {
+        let mut t = Trace::default();
+        assert!(t.is_empty());
+        t.push(sample_record());
+        t.push(sample_record());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn record_equality_and_clone() {
+        let a = sample_record();
+        let b = a.clone();
+        assert_eq!(a, b);
+        let mut c = a.clone();
+        c.bytes[2] ^= 0x80;
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ground_truth_is_optional() {
+        let mut r = sample_record();
+        r.truth = None;
+        let mut t = Trace::default();
+        t.push(r);
+        assert!(t.records[0].truth.is_none());
+    }
+}

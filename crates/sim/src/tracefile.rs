@@ -1,0 +1,307 @@
+//! Binary persistence for packet traces.
+//!
+//! The study's raw material was log files of promiscuously captured packets;
+//! this module gives [`Trace`] a compact, versioned on-disk form so traces
+//! can be captured once (minutes of simulation) and analyzed many times, or
+//! shipped between machines. The format is deliberately hand-rolled — a
+//! fixed little-endian layout with a magic and a version byte — so the
+//! on-disk representation is stable regardless of serde or compiler
+//! versions, and a truncated or corrupted file fails loudly instead of
+//! yielding garbage records.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! "WLTR" | u8 version | u64 packets_transmitted | u64 packets_dropped_by_mac
+//! u32 record_count
+//! repeat record_count times:
+//!   u64 time_ns | u8 level | u8 silence | u8 quality | u8 antenna
+//!   u8 truth_tag (0 = none, 1 = present)
+//!   if present: u32 src_station | u8 seq_tag | u32 seq | u32 corrupted_bits | u8 truncated
+//!   u32 byte_len | bytes
+//! ```
+
+use crate::trace::{GroundTruth, Trace, TraceRecord};
+use std::io::{self, Read, Write};
+
+/// File magic.
+pub const MAGIC: &[u8; 4] = b"WLTR";
+/// Current format version.
+pub const VERSION: u8 = 1;
+
+/// Errors from reading a trace file.
+#[derive(Debug)]
+pub enum TraceFileError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not a trace file (bad magic).
+    BadMagic,
+    /// A version this library does not read.
+    UnsupportedVersion(u8),
+    /// Structurally invalid (truncated mid-record, absurd lengths).
+    Corrupt(&'static str),
+}
+
+impl From<io::Error> for TraceFileError {
+    fn from(e: io::Error) -> Self {
+        TraceFileError::Io(e)
+    }
+}
+
+impl core::fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TraceFileError::Io(e) => write!(f, "i/o error: {e}"),
+            TraceFileError::BadMagic => write!(f, "not a WLTR trace file"),
+            TraceFileError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
+            TraceFileError::Corrupt(what) => write!(f, "corrupt trace file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceFileError {}
+
+/// Sanity cap on a single record's byte length (64 KiB is far above any
+/// WaveLAN frame); guards against reading garbage lengths from corrupt files.
+const MAX_RECORD_BYTES: u32 = 65_536;
+
+/// Writes a trace to any `Write` sink.
+pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&[VERSION])?;
+    w.write_all(&trace.packets_transmitted.to_le_bytes())?;
+    w.write_all(&trace.packets_dropped_by_mac.to_le_bytes())?;
+    w.write_all(&(trace.records.len() as u32).to_le_bytes())?;
+    for r in &trace.records {
+        w.write_all(&r.time_ns.to_le_bytes())?;
+        w.write_all(&[r.level, r.silence, r.quality, r.antenna])?;
+        match &r.truth {
+            None => w.write_all(&[0u8])?,
+            Some(t) => {
+                w.write_all(&[1u8])?;
+                w.write_all(&(t.src_station as u32).to_le_bytes())?;
+                w.write_all(&[u8::from(t.seq.is_some())])?;
+                w.write_all(&t.seq.unwrap_or(0).to_le_bytes())?;
+                w.write_all(&t.corrupted_bits.to_le_bytes())?;
+                w.write_all(&[u8::from(t.truncated)])?;
+            }
+        }
+        w.write_all(&(r.bytes.len() as u32).to_le_bytes())?;
+        w.write_all(&r.bytes)?;
+    }
+    Ok(())
+}
+
+fn read_exact<R: Read, const N: usize>(r: &mut R) -> Result<[u8; N], TraceFileError> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf)
+        .map_err(|_| TraceFileError::Corrupt("unexpected end of file"))?;
+    Ok(buf)
+}
+
+/// Reads a trace from any `Read` source.
+pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, TraceFileError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(TraceFileError::BadMagic);
+    }
+    let [version] = read_exact::<_, 1>(&mut r)?;
+    if version != VERSION {
+        return Err(TraceFileError::UnsupportedVersion(version));
+    }
+    let packets_transmitted = u64::from_le_bytes(read_exact::<_, 8>(&mut r)?);
+    let packets_dropped_by_mac = u64::from_le_bytes(read_exact::<_, 8>(&mut r)?);
+    let count = u32::from_le_bytes(read_exact::<_, 4>(&mut r)?);
+    let mut records = Vec::with_capacity(count.min(1_000_000) as usize);
+    for _ in 0..count {
+        let time_ns = u64::from_le_bytes(read_exact::<_, 8>(&mut r)?);
+        let [level, silence, quality, antenna] = read_exact::<_, 4>(&mut r)?;
+        let [truth_tag] = read_exact::<_, 1>(&mut r)?;
+        let truth = match truth_tag {
+            0 => None,
+            1 => {
+                let src_station = u32::from_le_bytes(read_exact::<_, 4>(&mut r)?) as usize;
+                let [seq_tag] = read_exact::<_, 1>(&mut r)?;
+                let seq_raw = u32::from_le_bytes(read_exact::<_, 4>(&mut r)?);
+                let corrupted_bits = u32::from_le_bytes(read_exact::<_, 4>(&mut r)?);
+                let [truncated] = read_exact::<_, 1>(&mut r)?;
+                if seq_tag > 1 || truncated > 1 {
+                    return Err(TraceFileError::Corrupt("invalid boolean tag"));
+                }
+                Some(GroundTruth {
+                    src_station,
+                    seq: (seq_tag == 1).then_some(seq_raw),
+                    corrupted_bits,
+                    truncated: truncated == 1,
+                })
+            }
+            _ => return Err(TraceFileError::Corrupt("invalid truth tag")),
+        };
+        let byte_len = u32::from_le_bytes(read_exact::<_, 4>(&mut r)?);
+        if byte_len > MAX_RECORD_BYTES {
+            return Err(TraceFileError::Corrupt("record length exceeds sanity cap"));
+        }
+        let mut bytes = vec![0u8; byte_len as usize];
+        r.read_exact(&mut bytes)
+            .map_err(|_| TraceFileError::Corrupt("record bytes truncated"))?;
+        records.push(TraceRecord {
+            time_ns,
+            bytes,
+            level,
+            silence,
+            quality,
+            antenna,
+            truth,
+        });
+    }
+    Ok(Trace {
+        records,
+        packets_transmitted,
+        packets_dropped_by_mac,
+    })
+}
+
+/// Convenience: write a trace to a filesystem path.
+pub fn save(trace: &Trace, path: &std::path::Path) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_trace(trace, io::BufWriter::new(file))
+}
+
+/// Convenience: read a trace from a filesystem path.
+pub fn load(path: &std::path::Path) -> Result<Trace, TraceFileError> {
+    let file = std::fs::File::open(path)?;
+    read_trace(io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace {
+            packets_transmitted: 1234,
+            packets_dropped_by_mac: 5,
+            ..Trace::default()
+        };
+        t.push(TraceRecord {
+            time_ns: 1_000_000,
+            bytes: vec![0xCA, 0xFE, 1, 2, 3, 4],
+            level: 29,
+            silence: 3,
+            quality: 15,
+            antenna: 0,
+            truth: Some(GroundTruth {
+                src_station: 1,
+                seq: Some(42),
+                corrupted_bits: 0,
+                truncated: false,
+            }),
+        });
+        t.push(TraceRecord {
+            time_ns: 7_100_000,
+            bytes: vec![0xCA, 0xFE, 9],
+            level: 7,
+            silence: 24,
+            quality: 4,
+            antenna: 1,
+            truth: Some(GroundTruth {
+                src_station: 2,
+                seq: None,
+                corrupted_bits: 17,
+                truncated: true,
+            }),
+        });
+        t.push(TraceRecord {
+            time_ns: 9_000_000,
+            bytes: vec![],
+            level: 0,
+            silence: 0,
+            quality: 1,
+            antenna: 0,
+            truth: None,
+        });
+        t
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let trace = sample_trace();
+        let path = std::env::temp_dir().join("wavelan_tracefile_test.wltr");
+        save(&trace, &path).unwrap();
+        let back = load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = read_trace(&b"NOPE....."[..]).unwrap_err();
+        assert!(matches!(err, TraceFileError::BadMagic));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&sample_trace(), &mut buf).unwrap();
+        buf[4] = 99;
+        assert!(matches!(
+            read_trace(&buf[..]).unwrap_err(),
+            TraceFileError::UnsupportedVersion(99)
+        ));
+    }
+
+    #[test]
+    fn truncated_file_fails_loudly() {
+        let mut buf = Vec::new();
+        write_trace(&sample_trace(), &mut buf).unwrap();
+        for cut in [5, 20, buf.len() - 2] {
+            let err = read_trace(&buf[..cut]).unwrap_err();
+            assert!(
+                matches!(err, TraceFileError::Corrupt(_)),
+                "cut {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn absurd_record_length_is_rejected() {
+        let mut buf = Vec::new();
+        // One record with no truth; corrupt its byte_len field.
+        let mut t = Trace::default();
+        t.push(TraceRecord {
+            time_ns: 0,
+            bytes: vec![1, 2, 3],
+            level: 1,
+            silence: 1,
+            quality: 1,
+            antenna: 0,
+            truth: None,
+        });
+        write_trace(&t, &mut buf).unwrap();
+        // byte_len sits 4 bytes before the 3 payload bytes at the tail.
+        let len_off = buf.len() - 3 - 4;
+        buf[len_off..len_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_trace(&buf[..]).unwrap_err(),
+            TraceFileError::Corrupt("record length exceeds sanity cap")
+        ));
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let t = Trace::default();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        assert_eq!(read_trace(&buf[..]).unwrap(), t);
+    }
+}

@@ -1,0 +1,87 @@
+//! Variable FEC: exercise the paper's Section 8 conjecture interactively —
+//! encode traffic with the RCPC family over a noisy channel and watch the
+//! adaptive controller walk the rate ladder.
+//!
+//! ```sh
+//! cargo run --release --example adaptive_fec
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wavelan_repro::fec::rcpc::{CodeRate, RcpcCodec};
+use wavelan_repro::fec::{AdaptiveFec, BlockInterleaver};
+
+/// A toy channel whose BER drifts over time: quiet, then a noisy episode
+/// (someone answers the 900 MHz phone), then quiet again.
+fn channel_ber(packet_index: usize) -> f64 {
+    match packet_index {
+        0..=149 => 1e-6,
+        150..=349 => 2.5e-3, // the phone call
+        _ => 1e-6,
+    }
+}
+
+/// Quality the modem would report under that BER (coarse mapping).
+fn reported_quality(ber: f64) -> u8 {
+    if ber > 1e-3 {
+        12
+    } else {
+        15
+    }
+}
+
+fn main() {
+    let codec = RcpcCodec::new();
+    let interleaver = BlockInterleaver::new(32, 64);
+    let mut controller = AdaptiveFec::new(CodeRate::R8_9).with_weaken_after(24);
+    let mut rng = StdRng::seed_from_u64(1);
+
+    let payload: Vec<u8> = (0..256u16).map(|i| (i * 31) as u8).collect();
+    let mut delivered = 0usize;
+    let mut corrupted = 0usize;
+    let mut bits_sent = 0usize;
+    let mut last_rate = controller.current();
+    println!("packet  rate   event");
+
+    for i in 0..500 {
+        let rate = controller.current();
+        if rate != last_rate {
+            println!("{i:>6}  {rate:?}   controller moved");
+            last_rate = rate;
+        }
+        let ber = channel_ber(i);
+        let coded = codec.encode(&payload, rate);
+        bits_sent += coded.len();
+        let mut wire = interleaver.interleave(&coded);
+        for bit in wire.iter_mut() {
+            if rng.gen::<f64>() < ber {
+                *bit ^= 1;
+            }
+        }
+        let received = interleaver.deinterleave(&wire);
+        let decoded = codec.decode_hard(&received, payload.len(), rate);
+        let ok = decoded == payload;
+        delivered += 1;
+        if !ok {
+            corrupted += 1;
+        }
+        controller.observe(ok, reported_quality(ber));
+    }
+
+    let info_bits = delivered * payload.len() * 8;
+    println!(
+        "\n{delivered} packets, {corrupted} corrupted after FEC ({:.2}%)",
+        corrupted as f64 / delivered as f64 * 100.0
+    );
+    println!(
+        "mean redundancy paid: {:.0}% (always-strongest would cost {:.0}%)",
+        (bits_sent as f64 / info_bits as f64 - 1.0) * 100.0,
+        CodeRate::R1_4.overhead() * 100.0
+    );
+    println!(
+        "\nThe controller idles at rate 8/9 (12.5% overhead — near-free insurance),\n\
+         strengthens within a few packets of the noise episode starting, and\n\
+         decays back once the channel has been clean for a while — the paper's\n\
+         'variable FEC mechanism', working."
+    );
+}

@@ -1,0 +1,91 @@
+//! Interference lab: subject one link to each of the paper's Section 7
+//! interference sources and compare the outcomes side by side.
+//!
+//! ```sh
+//! cargo run --release --example interference_lab
+//! ```
+
+use wavelan_repro::analysis::{analyze, ExpectedSeries, PacketClass};
+use wavelan_repro::experiments::calibration;
+use wavelan_repro::mac::network_id::NetworkId;
+use wavelan_repro::net::testpkt::Endpoint;
+use wavelan_repro::sim::runner::attach_tx_count;
+use wavelan_repro::sim::{AmbientSource, Point, Propagation, ScenarioBuilder, StationConfig};
+
+fn run_with(name: &str, sources: Vec<AmbientSource>) {
+    let mut b = ScenarioBuilder::new(99);
+    let rx = b.station(StationConfig::receiver(
+        Endpoint::station(1),
+        Point::feet(0.0, 0.0),
+    ));
+    let tx = b.station(StationConfig::sender(
+        Endpoint::station(2),
+        Point::feet(12.0, 0.0),
+        rx,
+    ));
+    for s in sources {
+        b.ambient(s);
+    }
+    let mut scenario = b.build();
+    let mut prop = Propagation::indoor(99);
+    prop.shadowing_sigma_db = 0.0;
+    scenario.propagation = prop;
+
+    let mut result = scenario.run(tx, 1_200);
+    attach_tx_count(&mut result, rx, tx);
+    let expected = ExpectedSeries {
+        src: Endpoint::station(2),
+        dst: Endpoint::station(1),
+        network_id: NetworkId::TESTBED,
+    };
+    let analysis = analyze(result.trace(rx), &expected);
+
+    let received = analysis.test_packets().count().max(1);
+    let (_, silence, quality) = analysis.stats_where(|p| p.is_test);
+    println!(
+        "{name:<28} loss {:>5.1}%  trunc {:>5.1}%  damaged {:>5.1}%  silence {:>5.1}  quality {:>5.1}",
+        analysis.packet_loss() * 100.0,
+        analysis.count(PacketClass::Truncated) as f64 / received as f64 * 100.0,
+        analysis.count(PacketClass::BodyDamaged) as f64 / received as f64 * 100.0,
+        silence.mean(),
+        quality.mean(),
+    );
+}
+
+fn main() {
+    println!("One 12 ft link, 1,200 packets per condition (paper Section 7):\n");
+    run_with("quiet baseline", vec![]);
+    run_with(
+        "microwave oven (contact)",
+        vec![calibration::microwave_oven()],
+    );
+    run_with("2 W VHF transmitter", vec![calibration::ham_transmitter()]);
+    run_with(
+        "FM cordless phones (cluster)",
+        vec![calibration::narrowband_phone(
+            calibration::narrowband_power::CLUSTER,
+        )],
+    );
+    run_with("SS phone, remote", vec![calibration::ss_phone_remote()]);
+    run_with(
+        "SS phone, handset near",
+        vec![
+            calibration::ss_phone_handset_only(),
+            calibration::ss_phone_handset_residual(),
+        ],
+    );
+    run_with(
+        "SS phone, base near (jam)",
+        vec![
+            calibration::ss_phone_jamming(),
+            calibration::ss_phone_jamming_residual(),
+        ],
+    );
+
+    println!(
+        "\nThe paper's ranking reproduces: out-of-band and narrowband sources are\n\
+         harmless (DSSS processing gain; front-end filters), while the in-band\n\
+         spread-spectrum phone walks the link from 'raised silence level' through\n\
+         'correctable bit errors' to 'jammed'."
+    );
+}

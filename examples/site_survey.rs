@@ -1,0 +1,87 @@
+//! Site survey: walk a transmitter through a small office building and map
+//! signal level, packet loss, and damage against the receiver — the
+//! Figure 1 / Figure 2 methodology applied to a floor plan of your own.
+//!
+//! ```sh
+//! cargo run --release --example site_survey
+//! ```
+
+use wavelan_repro::analysis::{analyze, ExpectedSeries, PacketClass};
+use wavelan_repro::mac::network_id::NetworkId;
+use wavelan_repro::net::testpkt::Endpoint;
+use wavelan_repro::phy::Material;
+use wavelan_repro::sim::runner::attach_tx_count;
+use wavelan_repro::sim::{FloorPlan, Point, Propagation, ScenarioBuilder, Segment, StationConfig};
+
+/// A corridor of four offices with mixed wall materials.
+fn building() -> FloorPlan {
+    let mut plan = FloorPlan::open();
+    for (x, material) in [
+        (12.0, Material::Drywall),
+        (24.0, Material::ConcreteBlock),
+        (36.0, Material::PlasterWireMesh),
+        (48.0, Material::Metal),
+    ] {
+        plan.add_wall(Segment::feet(x, -15.0, x, 15.0), material);
+    }
+    plan
+}
+
+fn main() {
+    let expected = ExpectedSeries {
+        src: Endpoint::station(2),
+        dst: Endpoint::station(1),
+        network_id: NetworkId::TESTBED,
+    };
+
+    println!("Site survey: receiver fixed at the west end; transmitter walks east.\n");
+    println!(
+        "{:>6} {:>7} {:>7} {:>7} {:>9} {:>9}   link verdict",
+        "pos", "level", "quality", "loss%", "damaged%", "walls"
+    );
+
+    for step in 0..14 {
+        let x = 4.0 + f64::from(step) * 4.0;
+        let plan = building();
+        let rx_pos = Point::feet(0.0, 0.0);
+        let tx_pos = Point::feet(x, 0.0);
+        let walls = plan.materials_crossed(rx_pos, tx_pos).len();
+
+        let mut b = ScenarioBuilder::new(7 + step as u64);
+        let rx = b.station(StationConfig::receiver(Endpoint::station(1), rx_pos));
+        let tx = b.station(StationConfig::sender(Endpoint::station(2), tx_pos, rx));
+        let mut scenario = b.floorplan(plan).build();
+        scenario.propagation = Propagation::indoor(7);
+
+        let mut result = scenario.run(tx, 800);
+        attach_tx_count(&mut result, rx, tx);
+        let analysis = analyze(result.trace(rx), &expected);
+
+        let (level, _, quality) = analysis.stats_where(|p| p.is_test);
+        let received = analysis.test_packets().count().max(1);
+        let damaged = received - analysis.count(PacketClass::Undamaged);
+        let loss = analysis.packet_loss() * 100.0;
+        let damaged_pct = damaged as f64 / received as f64 * 100.0;
+        let verdict = match level.mean() {
+            l if l >= 10.0 => "solid (paper: reliable above level 10)",
+            l if l >= 8.0 => "marginal",
+            _ => "ERROR REGION (paper: level < 8)",
+        };
+        println!(
+            "{:>4}ft {:>7.1} {:>7.1} {:>7.2} {:>9.2} {:>9}   {}",
+            x,
+            level.mean(),
+            quality.mean(),
+            loss,
+            damaged_pct,
+            walls,
+            verdict
+        );
+    }
+
+    println!(
+        "\nNote the pattern the paper reports: distance alone costs little; walls\n\
+         dominate, and different materials cost very different amounts (drywall\n\
+         ≈2 units, concrete ≈2, plaster-over-mesh ≈5, metal ≈8)."
+    );
+}

@@ -1,0 +1,116 @@
+//! Trace capture and dissection: run a noisy trial, persist the promiscuous
+//! trace to disk in the WLTR binary format, reload it, and print a
+//! tcpdump-style dissection of interesting packets — plus the burst-level
+//! error characterization that drives FEC/interleaver choices.
+//!
+//! ```sh
+//! cargo run --release --example trace_dump
+//! ```
+
+use wavelan_repro::analysis::{analyze, burst_report, ExpectedSeries, PacketClass};
+use wavelan_repro::experiments::calibration;
+use wavelan_repro::mac::network_id::{strip_network_id, NetworkId};
+use wavelan_repro::net::testpkt::Endpoint;
+use wavelan_repro::net::EthernetFrame;
+use wavelan_repro::sim::runner::attach_tx_count;
+use wavelan_repro::sim::{tracefile, Point, Propagation, ScenarioBuilder, StationConfig};
+
+fn main() {
+    // ── Capture: a link under intermediate SS-phone interference. ──
+    let mut b = ScenarioBuilder::new(7);
+    let rx = b.station(StationConfig::receiver(
+        Endpoint::station(1),
+        Point::feet(0.0, 0.0),
+    ));
+    let tx = b.station(StationConfig::sender(
+        Endpoint::station(2),
+        Point::feet(12.0, 0.0),
+        rx,
+    ));
+    b.ambient(calibration::ss_phone_handset_only());
+    b.ambient(calibration::ss_phone_handset_residual());
+    let mut scenario = b.build();
+    let mut prop = Propagation::indoor(7);
+    prop.shadowing_sigma_db = 0.0;
+    scenario.propagation = prop;
+    let mut result = scenario.run(tx, 600);
+    attach_tx_count(&mut result, rx, tx);
+    let trace = result.trace(rx).clone();
+
+    // ── Persist and reload. ──
+    let path = std::env::temp_dir().join("wavelan_demo.wltr");
+    tracefile::save(&trace, &path).expect("write trace");
+    let size = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    let reloaded = tracefile::load(&path).expect("read trace");
+    assert_eq!(reloaded, trace);
+    println!(
+        "captured {} packets → {} ({size} bytes), reloaded bit-identically\n",
+        trace.len(),
+        path.display()
+    );
+
+    // ── Dissect: first few packets of each damage class. ──
+    let expected = ExpectedSeries {
+        src: Endpoint::station(2),
+        dst: Endpoint::station(1),
+        network_id: NetworkId::TESTBED,
+    };
+    let analysis = analyze(&reloaded, &expected);
+    println!("time(ms)  len   lvl sil q  class        src → dst");
+    let mut shown = std::collections::HashMap::new();
+    for p in &analysis.packets {
+        let count = shown.entry(p.class).or_insert(0usize);
+        if *count >= 3 {
+            continue;
+        }
+        *count += 1;
+        let r = &reloaded.records[p.index];
+        let (src, dst) = match strip_network_id(&r.bytes).map(|(_, eth)| EthernetFrame::parse(eth))
+        {
+            Some(Ok(f)) => (f.src.to_string(), f.dst.to_string()),
+            _ => ("?".into(), "?".into()),
+        };
+        println!(
+            "{:>8.2} {:>5} {:>4} {:>3} {:>2}  {:<12} {src} → {dst}{}",
+            r.time_ns as f64 / 1e6,
+            r.bytes.len(),
+            r.level,
+            r.silence,
+            r.quality,
+            format!("{:?}", p.class),
+            match p.body_bit_errors {
+                0 => String::new(),
+                n => format!("  [{n} corrupted bits]"),
+            }
+        );
+    }
+
+    // ── Characterize the error process. ──
+    let report = burst_report(&reloaded, &analysis, 64);
+    println!(
+        "\nerror process: BER {:.2e} over {} body bits; {} bursts, mean {:.1} bits \
+         (max {}), {:.1} errors/burst",
+        report.ber(),
+        report.bits,
+        report.bursts,
+        report.mean_burst_len,
+        report.max_burst_len,
+        report.errors_per_burst
+    );
+    if let Some(ge) = report.fitted {
+        println!(
+            "fitted Gilbert–Elliott: P(G→B) {:.2e}, P(B→G) {:.2e}, BER bad {:.3}, \
+             mean burst sojourn {:.0} bits",
+            ge.p_good_to_bad,
+            ge.p_bad_to_good,
+            ge.ber_bad,
+            ge.mean_bad_sojourn()
+        );
+    }
+    println!(
+        "recommended interleaver depth: {} rows",
+        report.recommended_interleaver_rows()
+    );
+    let _ = analysis.count(PacketClass::Undamaged);
+    std::fs::remove_file(&path).ok();
+}
