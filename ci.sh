@@ -1,0 +1,8 @@
+#!/bin/sh
+# Tier-1 CI gate. Any failure — including a golden-transcript diff, which
+# `cargo test` surfaces via tests/golden_repro.rs — fails the run.
+set -eux
+
+cargo build --release
+cargo test -q
+cargo run --release -p wavelan-bench --bin repro -- --scale smoke

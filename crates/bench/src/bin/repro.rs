@@ -1,24 +1,29 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro [--scale smoke|reduced|paper] [--seed N] [artifact ...]
+//! repro [--scale smoke|reduced|paper] [--seed N] [--jobs N] [artifact ...]
 //! ```
 //!
 //! With no artifact arguments, everything is regenerated in paper order.
 //! Artifacts: `table2 figure1 table3 figure2 figure3 table4 table5-7 table8-9
-//! table10 table11-13 table14 fec`.
+//! table10 table11-13 table14 fec harq related-work tdma quality-threshold
+//! roaming hidden-terminal`.
+//!
+//! `--jobs N` sets the trial executor's worker count (default: one worker
+//! per core; `--jobs 1` is fully serial). Trial seeds derive purely from
+//! `(experiment id, trial index, base seed)` and results merge in
+//! declaration order, so stdout is bit-identical at any worker count —
+//! only the wall-clock report on stderr changes.
 
 use std::time::Instant;
-use wavelan_core::experiments::{
-    adaptive_fec, body, competing, harq, hidden_terminal, in_room, multiroom, narrowband,
-    path_loss, quality_threshold, related_work, signal_vs_error, ss_phone, tdma, threshold, walls,
-};
-use wavelan_core::Scale;
+use wavelan_bench::{run_artifact, ARTIFACTS};
+use wavelan_core::{Executor, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Reduced;
     let mut seed = 1996u64;
+    let mut jobs = 0usize;
     let mut artifacts: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -40,11 +45,17 @@ fn main() {
                     std::process::exit(2);
                 })
             }
+            "--jobs" => {
+                jobs = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--jobs needs a number (0 = one per core)");
+                    std::process::exit(2);
+                })
+            }
             "--help" | "-h" => {
                 println!(
-                    "repro [--scale smoke|reduced|paper] [--seed N] [artifact ...]\n\
-                     artifacts: table2 figure1 table3 figure2 figure3 table4 table5-7 \
-                     table8-9 table10 table11-13 table14 fec harq related-work tdma quality-threshold roaming hidden-terminal"
+                    "repro [--scale smoke|reduced|paper] [--seed N] [--jobs N] [artifact ...]\n\
+                     artifacts: {}",
+                    ARTIFACTS.join(" ")
                 );
                 return;
             }
@@ -52,74 +63,44 @@ fn main() {
         }
     }
     if artifacts.is_empty() {
-        artifacts = [
-            "table2",
-            "figure1",
-            "table3",
-            "figure2",
-            "figure3",
-            "table4",
-            "table5-7",
-            "table8-9",
-            "table10",
-            "table11-13",
-            "table14",
-            "fec",
-            "harq",
-            "related-work",
-            "tdma",
-            "quality-threshold",
-            "roaming",
-            "hidden-terminal",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+        artifacts = ARTIFACTS.iter().map(|s| s.to_string()).collect();
     }
 
+    let exec = Executor::new(jobs);
+    eprintln!("[executor: {} worker(s)]", exec.jobs());
     println!(
         "# Reproduction of Eckhardt & Steenkiste, SIGCOMM '96 (scale {scale:?}, seed {seed})\n"
     );
+    let total_start = Instant::now();
+    let mut total_packets = 0u64;
+    let mut unknown = 0usize;
     for artifact in &artifacts {
         let start = Instant::now();
-        let output = match artifact.as_str() {
-            "table2" => in_room::run(scale, seed).render(),
-            "figure1" => path_loss::run(&[], scale.packets(1_440), seed).render(),
-            "table3" => signal_vs_error::run(scale, seed).render_table3(),
-            "figure2" => signal_vs_error::run(scale, seed).render_figure2(),
-            "figure3" => threshold::run(&[], scale.packets(1_440), seed).render(),
-            "table4" => walls::run(scale, seed).render(),
-            "table5-7" | "table5" | "table6" | "table7" => multiroom::run(scale, seed).render(),
-            "table8-9" | "table8" | "table9" => body::run(scale, seed).render(),
-            "table10" => narrowband::run(scale, seed).render(),
-            "table11-13" | "table11" | "table12" | "table13" => ss_phone::run(scale, seed).render(),
-            "table14" => competing::run(scale, seed).render(),
-            "fec" => adaptive_fec::run(scale, seed).render(),
-            "harq" => harq::run(scale, seed).render(),
-            "related-work" => related_work::run(scale.packets(1_440).min(800), seed).render(),
-            "tdma" => tdma::run(8, 500, seed).render(),
-            "quality-threshold" => quality_threshold::run(scale, seed).render(),
-            "hidden-terminal" => {
-                hidden_terminal::run(scale.packets(1_440).min(1_000), seed).render()
-            }
-            "roaming" => wavelan_cell::roaming::walk(
-                wavelan_cell::roaming::TwoCells {
-                    separation_ft: 200.0,
-                    threshold: 12,
-                },
-                20.0,
-                180.0,
-                17,
-                2_000,
-                seed,
-            )
-            .render(),
-            other => {
-                eprintln!("unknown artifact {other}");
-                continue;
-            }
+        let Some(run) = run_artifact(artifact, scale, seed, &exec) else {
+            eprintln!("unknown artifact {artifact}");
+            unknown += 1;
+            continue;
         };
-        println!("{output}");
-        println!("[{artifact}: {:.1}s]\n", start.elapsed().as_secs_f64());
+        let elapsed = start.elapsed().as_secs_f64();
+        println!("{}", run.text);
+        // Timing goes to stderr: stdout stays bit-identical across runs and
+        // worker counts (the golden regression diffs it verbatim).
+        eprintln!(
+            "[{artifact}: {:.2}s, {} packets, {:.0} pkt/s]",
+            elapsed,
+            run.packets,
+            run.packets as f64 / elapsed.max(1e-9)
+        );
+        total_packets += run.packets;
+    }
+    let total = total_start.elapsed().as_secs_f64();
+    eprintln!(
+        "[total: {:.2}s, {} packets, {:.0} pkt/s]",
+        total,
+        total_packets,
+        total_packets as f64 / total.max(1e-9)
+    );
+    if unknown > 0 {
+        std::process::exit(2);
     }
 }

@@ -16,6 +16,7 @@
 
 use super::common::Scale;
 use super::ss_phone;
+use crate::executor::Executor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use wavelan_analysis::PacketClass;
@@ -124,7 +125,14 @@ fn replay_packet(
 /// Runs the experiment at the given scale (drives the SS-phone trial, then
 /// replays). `max_replays` caps the per-rate decoder work.
 pub fn run(scale: Scale, seed: u64) -> AdaptiveFecResult {
-    let ss = ss_phone::run(scale, seed);
+    run_with(scale, seed, &Executor::default())
+}
+
+/// [`run`] on an explicit executor. The inner SS-phone trials fan out; the
+/// replay itself stays serial — the adaptive controller walks the trace
+/// chronologically through one RNG, which is the point of the experiment.
+pub fn run_with(scale: Scale, seed: u64, exec: &Executor) -> AdaptiveFecResult {
+    let ss = ss_phone::run_with(scale, seed, exec);
     let trial = ss.trial("AT&T handset");
     let codec = RcpcCodec::new();
     let interleaver = BlockInterleaver::new(64, 128);

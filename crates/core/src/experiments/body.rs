@@ -8,10 +8,14 @@
 //! damage. Furthermore, we observe a noticeable reduction in signal level."
 
 use super::common::{PointTrial, Scale};
+use crate::executor::{trial_seed, Executor};
 use crate::layouts;
 use wavelan_analysis::report::{render_results_table, render_signal_table, SignalRow};
 use wavelan_analysis::{PacketClass, TraceAnalysis, TrialSummary};
 use wavelan_sim::Propagation;
+
+/// This experiment's stream id for [`trial_seed`].
+pub const EXPERIMENT_ID: u64 = 7;
 
 /// The paper collected ≈1,440 packets per stream.
 pub const PAPER_PACKETS: u64 = 1_440;
@@ -85,28 +89,34 @@ impl BodyResult {
 
 /// Runs both streams at the given scale.
 pub fn run(scale: Scale, seed: u64) -> BodyResult {
+    run_with(scale, seed, &Executor::default())
+}
+
+/// [`run`] on an explicit executor; the two streams fan out as independent
+/// trials (shared pinned propagation, per-stream traffic seed).
+pub fn run_with(scale: Scale, seed: u64, exec: &Executor) -> BodyResult {
     let packets = scale.packets(PAPER_PACKETS);
     let (plan, rx, tx) = layouts::hallway();
-    let no_body = PointTrial::new(
-        plan.clone(),
-        pinned_propagation(seed),
-        rx,
-        tx,
-        packets,
-        seed,
-    )
-    .analyze();
-    let mut impaired_plan = plan;
-    layouts::add_body(&mut impaired_plan);
-    let body = PointTrial::new(
-        impaired_plan,
-        pinned_propagation(seed),
-        rx,
-        tx,
-        packets,
-        seed + 1,
-    )
-    .analyze();
+    let mut analyses = exec.map_indices(2, |i| {
+        let plan = if i == 0 {
+            plan.clone()
+        } else {
+            let mut impaired_plan = plan.clone();
+            layouts::add_body(&mut impaired_plan);
+            impaired_plan
+        };
+        PointTrial::new(
+            plan,
+            pinned_propagation(seed),
+            rx,
+            tx,
+            packets,
+            trial_seed(EXPERIMENT_ID, i as u64, seed),
+        )
+        .analyze()
+    });
+    let body = analyses.pop().expect("body stream");
+    let no_body = analyses.pop().expect("no-body stream");
     BodyResult { no_body, body }
 }
 

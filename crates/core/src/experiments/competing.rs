@@ -10,6 +10,7 @@
 //! unchanged."
 
 use super::common::{expected_series, test_receiver, test_sender, Scale};
+use crate::executor::{trial_seed, Executor};
 use crate::layouts::{self, MultiRoom};
 use wavelan_analysis::report::{render_signal_table, SignalRow};
 use wavelan_analysis::{analyze, PacketClass, TraceAnalysis};
@@ -155,15 +156,37 @@ fn run_trial(
     }
 }
 
+/// This experiment's stream id for [`trial_seed`].
+pub const EXPERIMENT_ID: u64 = 10;
+
 /// Runs the three trials at the given scale.
 pub fn run(scale: Scale, seed: u64) -> CompetingResult {
+    run_with(scale, seed, &Executor::default())
+}
+
+/// [`run`] on an explicit executor; the three trials fan out independently.
+/// All three share one derived seed — the paper reused a single physical
+/// placement and only changed thresholds and jammers between trials.
+pub fn run_with(scale: Scale, seed: u64, exec: &Executor) -> CompetingResult {
     let packets = scale.packets(PAPER_PACKETS);
-    CompetingResult {
-        without_interference: run_trial("Without interference", false, 25, packets, seed),
-        with_interference: run_trial("With interference", true, 25, packets, seed),
+    let shared = trial_seed(EXPERIMENT_ID, 0, seed);
+    let specs: [(&'static str, bool, u8, u64); 3] = [
+        ("Without interference", false, 25, packets),
+        ("With interference", true, 25, packets),
         // The threshold-3 narrative trial runs for a fixed (shorter) quota;
         // it will hit the time bound instead.
-        threshold3: run_trial("Threshold 3", true, 3, packets.min(500), seed),
+        ("Threshold 3", true, 3, packets.min(500)),
+    ];
+    let mut trials = exec.map(specs.to_vec(), |_, (name, jammers, threshold, quota)| {
+        run_trial(name, jammers, threshold, quota, shared)
+    });
+    let threshold3 = trials.pop().expect("threshold-3 trial");
+    let with_interference = trials.pop().expect("jammed trial");
+    let without_interference = trials.pop().expect("clean trial");
+    CompetingResult {
+        without_interference,
+        with_interference,
+        threshold3,
     }
 }
 

@@ -12,6 +12,7 @@
 //! packets from collisions carrier sense cannot prevent.
 
 use super::common::{expected_series, test_receiver, test_sender};
+use crate::executor::{trial_seed, Executor};
 use wavelan_analysis::analyze;
 use wavelan_net::testpkt::Endpoint;
 use wavelan_sim::runner::attach_tx_count;
@@ -114,11 +115,25 @@ fn run_once(capture_margin_db: f64, packets: u64, seed: u64) -> HiddenOutcome {
     }
 }
 
+/// This experiment's stream id for [`trial_seed`].
+pub const EXPERIMENT_ID: u64 = 13;
+
 /// Runs both configurations.
 pub fn run(packets: u64, seed: u64) -> HiddenTerminalResult {
+    run_with(packets, seed, &Executor::default())
+}
+
+/// [`run`] on an explicit executor. Both configurations share one derived
+/// seed — the ablation must differ only in the capture margin.
+pub fn run_with(packets: u64, seed: u64, exec: &Executor) -> HiddenTerminalResult {
+    let shared = trial_seed(EXPERIMENT_ID, 0, seed);
+    let margins = vec![wavelan_sim::runner::CAPTURE_MARGIN_DB, f64::INFINITY];
+    let mut outcomes = exec.map(margins, |_, margin| run_once(margin, packets, shared));
+    let without_capture = outcomes.pop().expect("ablated config");
+    let with_capture = outcomes.pop().expect("default config");
     HiddenTerminalResult {
-        with_capture: run_once(wavelan_sim::runner::CAPTURE_MARGIN_DB, packets, seed),
-        without_capture: run_once(f64::INFINITY, packets, seed),
+        with_capture,
+        without_capture,
     }
 }
 

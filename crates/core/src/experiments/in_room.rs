@@ -12,10 +12,14 @@
 //! across 0%–.07% exactly as in the paper.
 
 use super::common::{PointTrial, Scale};
+use crate::executor::{trial_seed, Executor};
 use crate::layouts;
 use wavelan_analysis::report::render_results_table;
 use wavelan_analysis::TrialSummary;
 use wavelan_sim::Propagation;
+
+/// This experiment's stream id for [`trial_seed`].
+pub const EXPERIMENT_ID: u64 = 1;
 
 /// The paper's per-trial packet counts (Table 2, "Packets Received" column,
 /// adjusted up by the reported loss — transmitted counts).
@@ -66,22 +70,26 @@ impl InRoomResult {
 
 /// Runs the nine in-room trials at the given scale.
 pub fn run(scale: Scale, base_seed: u64) -> InRoomResult {
-    let trials = PAPER_TRIALS
-        .iter()
-        .enumerate()
-        .map(|(i, (name, paper_packets))| {
-            let (plan, rx, tx) = layouts::office();
-            let trial = PointTrial::new(
-                plan,
-                Propagation::indoor(base_seed + i as u64),
-                rx,
-                tx,
-                scale.packets(*paper_packets),
-                base_seed + 1_000 + i as u64,
-            );
-            TrialSummary::from_analysis(name, &trial.analyze())
-        })
-        .collect();
+    run_with(scale, base_seed, &Executor::default())
+}
+
+/// [`run`] on an explicit executor. Trials fan out across the pool; each
+/// trial's propagation and scenario streams derive purely from its index,
+/// so the result is identical at any worker count.
+pub fn run_with(scale: Scale, base_seed: u64, exec: &Executor) -> InRoomResult {
+    let trials = exec.map_indices(PAPER_TRIALS.len(), |i| {
+        let (name, paper_packets) = PAPER_TRIALS[i];
+        let (plan, rx, tx) = layouts::office();
+        let trial = PointTrial::new(
+            plan,
+            Propagation::indoor(trial_seed(EXPERIMENT_ID, 2 * i as u64 + 1, base_seed)),
+            rx,
+            tx,
+            scale.packets(paper_packets),
+            trial_seed(EXPERIMENT_ID, 2 * i as u64, base_seed),
+        );
+        TrialSummary::from_analysis(name, &trial.analyze())
+    });
     InRoomResult { trials }
 }
 

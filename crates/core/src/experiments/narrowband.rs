@@ -13,6 +13,7 @@
 
 use super::common::{add_outsider_pair, expected_series, test_receiver, test_sender, Scale};
 use crate::calibration::{narrowband_phone, narrowband_power};
+use crate::executor::{trial_seed, Executor};
 use wavelan_analysis::report::{render_signal_table, SignalRow};
 use wavelan_analysis::{analyze, PacketClass, TraceAnalysis};
 use wavelan_sim::runner::attach_tx_count;
@@ -89,14 +90,21 @@ fn trial_specs() -> Vec<(&'static str, Option<f64>, bool)> {
     ]
 }
 
+/// This experiment's stream id for [`trial_seed`].
+pub const EXPERIMENT_ID: u64 = 8;
+
 /// Runs the five trials at the given scale.
 pub fn run(scale: Scale, seed: u64) -> NarrowbandResult {
+    run_with(scale, seed, &Executor::default())
+}
+
+/// [`run`] on an explicit executor; the five trials fan out independently.
+pub fn run_with(scale: Scale, seed: u64, exec: &Executor) -> NarrowbandResult {
     let packets = scale.packets(PAPER_PACKETS);
-    let trials = trial_specs()
-        .into_iter()
-        .enumerate()
-        .map(|(i, (name, phone_power, outsiders))| {
-            let mut b = ScenarioBuilder::new(seed + i as u64);
+    let trials = exec.map(
+        trial_specs(),
+        |i, (name, phone_power, outsiders)| {
+            let mut b = ScenarioBuilder::new(trial_seed(EXPERIMENT_ID, i as u64, seed));
             let rx = b.station(StationConfig::receiver(
                 test_receiver(),
                 Point::feet(0.0, 0.0),
@@ -121,8 +129,8 @@ pub fn run(scale: Scale, seed: u64) -> NarrowbandResult {
                 name,
                 analysis: analyze(&trace, &expected_series()),
             }
-        })
-        .collect();
+        },
+    );
     NarrowbandResult { trials }
 }
 

@@ -11,9 +11,13 @@
 //! max *reported* level — the error bars of Figure 1.
 
 use super::common::PointTrial;
+use crate::executor::{trial_seed, Executor};
 use crate::layouts;
 use wavelan_analysis::SignalStats;
 use wavelan_sim::{Point, Propagation};
+
+/// This experiment's stream id for [`trial_seed`].
+pub const EXPERIMENT_ID: u64 = 2;
 
 /// One Figure 1 sample.
 #[derive(Debug, Clone)]
@@ -73,6 +77,18 @@ impl PathLossResult {
 /// Runs the sweep. `distances_ft` defaults (when empty) to 2 ft steps from
 /// contact out to 60 ft, the range of the paper's figure.
 pub fn run(distances_ft: &[f64], packets_per_point: u64, seed: u64) -> PathLossResult {
+    run_with(distances_ft, packets_per_point, seed, &Executor::default())
+}
+
+/// [`run`] on an explicit executor; each distance point is an independent
+/// trial. The lecture-hall fading realization is shared (one room, one
+/// afternoon), while each point's traffic stream derives from its index.
+pub fn run_with(
+    distances_ft: &[f64],
+    packets_per_point: u64,
+    seed: u64,
+    exec: &Executor,
+) -> PathLossResult {
     let default: Vec<f64> = (0..=30).map(|i| f64::from(i) * 2.0).collect();
     let distances = if distances_ft.is_empty() {
         &default[..]
@@ -80,25 +96,22 @@ pub fn run(distances_ft: &[f64], packets_per_point: u64, seed: u64) -> PathLossR
         distances_ft
     };
     let (plan, rx) = layouts::lecture_hall_receiver();
-    let samples = distances
-        .iter()
-        .map(|&d| {
-            let trial = PointTrial::new(
-                plan.clone(),
-                Propagation::lecture_hall(seed),
-                rx,
-                Point::feet(d.max(0.1), 0.0),
-                packets_per_point,
-                seed + (d * 10.0) as u64,
-            );
-            let analysis = trial.analyze();
-            let (level, _, _) = analysis.stats_where(|p| p.is_test);
-            DistanceSample {
-                distance_ft: d,
-                level,
-            }
-        })
-        .collect();
+    let samples = exec.map(distances.to_vec(), |i, d| {
+        let trial = PointTrial::new(
+            plan.clone(),
+            Propagation::lecture_hall(seed),
+            rx,
+            Point::feet(d.max(0.1), 0.0),
+            packets_per_point,
+            trial_seed(EXPERIMENT_ID, i as u64, seed),
+        );
+        let analysis = trial.analyze();
+        let (level, _, _) = analysis.stats_where(|p| p.is_test);
+        DistanceSample {
+            distance_ft: d,
+            level,
+        }
+    });
     PathLossResult { samples }
 }
 

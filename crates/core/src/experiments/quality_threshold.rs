@@ -11,6 +11,7 @@
 
 use super::common::{expected_series, test_receiver, test_sender, Scale};
 use crate::calibration;
+use crate::executor::{trial_seed, Executor};
 use wavelan_analysis::{analyze, PacketClass};
 use wavelan_mac::Thresholds;
 use wavelan_sim::runner::attach_tx_count;
@@ -78,13 +79,23 @@ impl QualityThresholdResult {
     }
 }
 
+/// This experiment's stream id for [`trial_seed`].
+pub const EXPERIMENT_ID: u64 = 11;
+
 /// Runs the sweep at the given scale.
 pub fn run(scale: Scale, seed: u64) -> QualityThresholdResult {
+    run_with(scale, seed, &Executor::default())
+}
+
+/// [`run`] on an explicit executor. All five thresholds deliberately share
+/// one derived seed: the sweep filters the *same* packet stream, so the
+/// monotone filtered/delivered trade is exact, not statistical.
+pub fn run_with(scale: Scale, seed: u64, exec: &Executor) -> QualityThresholdResult {
     let packets = scale.packets(1_440);
-    let samples = [1u8, 8, 11, 13, 15]
-        .iter()
-        .map(|&threshold| {
-            let mut b = ScenarioBuilder::new(seed);
+    let shared = trial_seed(EXPERIMENT_ID, 0, seed);
+    let samples = exec.map(vec![1u8, 8, 11, 13, 15], |_, threshold| {
+        {
+            let mut b = ScenarioBuilder::new(shared);
             let rx = b.station(StationConfig {
                 thresholds: Thresholds {
                     receive_level: 3,
@@ -100,7 +111,7 @@ pub fn run(scale: Scale, seed: u64) -> QualityThresholdResult {
             b.ambient(calibration::ss_phone_handset_only());
             b.ambient(calibration::ss_phone_handset_residual());
             let mut scenario = b.build();
-            let mut prop = Propagation::indoor(seed);
+            let mut prop = Propagation::indoor(shared);
             prop.shadowing_sigma_db = 0.0;
             scenario.propagation = prop;
             let mut result = scenario.run(tx, packets);
@@ -114,8 +125,8 @@ pub fn run(scale: Scale, seed: u64) -> QualityThresholdResult {
                 truncated_delivered: analysis.count(PacketClass::Truncated),
                 filtered: result.packets_filtered[rx],
             }
-        })
-        .collect();
+        }
+    });
     QualityThresholdResult { samples }
 }
 

@@ -16,6 +16,7 @@
 //! across the error boundary as the transmitter moves.
 
 use super::common::{expected_series, test_receiver, test_sender};
+use crate::executor::{trial_seed, Executor};
 use wavelan_analysis::{analyze, PacketClass};
 use wavelan_phy::fading::TwoRay;
 use wavelan_sim::runner::attach_tx_count;
@@ -88,17 +89,25 @@ impl RelatedWorkResult {
     }
 }
 
+/// This experiment's stream id for [`trial_seed`].
+pub const EXPERIMENT_ID: u64 = 12;
+
 fn sweep(
     distances: &[f64],
     propagation: &Propagation,
     plan: &FloorPlan,
     packets: u64,
     seed: u64,
+    stream_offset: u64,
+    exec: &Executor,
 ) -> Vec<ScatterSample> {
-    distances
-        .iter()
-        .map(|&d| {
-            let mut b = ScenarioBuilder::new(seed + (d * 8.0) as u64);
+    exec.map(distances.to_vec(), |i, d| {
+        {
+            let mut b = ScenarioBuilder::new(trial_seed(
+                EXPERIMENT_ID,
+                stream_offset + i as u64,
+                seed,
+            ));
             let rx = b.station(StationConfig::receiver(
                 test_receiver(),
                 Point::feet(0.0, 0.0),
@@ -122,12 +131,18 @@ fn sweep(
                 loss: analysis.packet_loss(),
                 corruption: corrupted as f64 / received as f64,
             }
-        })
-        .collect()
+        }
+    })
 }
 
 /// Runs both sweeps. `packets` per distance point (their runs were short).
 pub fn run(packets: u64, seed: u64) -> RelatedWorkResult {
+    run_with(packets, seed, &Executor::default())
+}
+
+/// [`run`] on an explicit executor; the two regimes' distance points all fan
+/// out independently (the difficult sweep gets a disjoint index range).
+pub fn run_with(packets: u64, seed: u64, exec: &Executor) -> RelatedWorkResult {
     // Typical: 10–60 ft, ordinary lecture-hall propagation, open space.
     let benign_distances: Vec<f64> = (1..=6).map(|i| f64::from(i) * 10.0).collect();
     let benign = sweep(
@@ -136,6 +151,8 @@ pub fn run(packets: u64, seed: u64) -> RelatedWorkResult {
         &FloorPlan::open(),
         packets,
         seed,
+        0,
+        exec,
     );
 
     // Difficult: attenuation (a metal partition drags the level to the cell
@@ -160,6 +177,8 @@ pub fn run(packets: u64, seed: u64) -> RelatedWorkResult {
         &partition,
         packets,
         seed + 1,
+        100,
+        exec,
     );
 
     RelatedWorkResult { benign, difficult }

@@ -12,6 +12,7 @@
 //! position, from which the shaded "error region" (level < 8) falls out.
 
 use super::common::{add_outsider_pair, expected_series, test_receiver, test_sender, Scale};
+use crate::executor::{trial_seed, Executor};
 use wavelan_analysis::report::{render_signal_table, SignalRow};
 use wavelan_analysis::{analyze, PacketClass, TraceAnalysis};
 use wavelan_sim::runner::attach_tx_count;
@@ -112,15 +113,23 @@ impl SignalVsErrorResult {
     }
 }
 
+/// This experiment's stream id for [`trial_seed`].
+pub const EXPERIMENT_ID: u64 = 3;
+
 /// Runs the sweep at the given scale (the paper pooled 8,634 test packets).
 pub fn run(scale: Scale, seed: u64) -> SignalVsErrorResult {
-    let packets_per_position = scale.packets(8_634 / POSITION_LADDER_FT.len() as u64);
-    let mut pooled_packets = Vec::new();
-    let mut transmitted = 0u64;
-    let mut positions = Vec::new();
+    run_with(scale, seed, &Executor::default())
+}
 
-    for (i, &d) in POSITION_LADDER_FT.iter().enumerate() {
-        let mut b = ScenarioBuilder::new(seed + i as u64);
+/// [`run`] on an explicit executor. Positions fan out independently; the
+/// pooled Table 3 trace concatenates per-position packets in ladder order,
+/// which the executor's ordered merge preserves exactly.
+pub fn run_with(scale: Scale, seed: u64, exec: &Executor) -> SignalVsErrorResult {
+    let packets_per_position = scale.packets(8_634 / POSITION_LADDER_FT.len() as u64);
+
+    let per_position = exec.map_indices(POSITION_LADDER_FT.len(), |i| {
+        let d = POSITION_LADDER_FT[i];
+        let mut b = ScenarioBuilder::new(trial_seed(EXPERIMENT_ID, i as u64, seed));
         let rx = b.station(StationConfig::receiver(
             test_receiver(),
             Point::feet(0.0, 0.0),
@@ -142,7 +151,7 @@ pub fn run(scale: Scale, seed: u64) -> SignalVsErrorResult {
         let (level, _, _) = analysis.stats_where(|p| p.is_test);
         let received = analysis.test_packets().count();
         let damaged = received - analysis.count(PacketClass::Undamaged);
-        positions.push(PositionSample {
+        let sample = PositionSample {
             distance_ft: d,
             mean_level: level.mean(),
             loss: analysis.packet_loss(),
@@ -151,7 +160,15 @@ pub fn run(scale: Scale, seed: u64) -> SignalVsErrorResult {
             } else {
                 damaged as f64 / received as f64
             },
-        });
+        };
+        (sample, analysis)
+    });
+
+    let mut pooled_packets = Vec::new();
+    let mut transmitted = 0u64;
+    let mut positions = Vec::new();
+    for (sample, analysis) in per_position {
+        positions.push(sample);
         transmitted += analysis.transmitted;
         pooled_packets.extend(analysis.packets);
     }

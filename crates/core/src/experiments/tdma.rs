@@ -11,9 +11,13 @@
 //! the two MACs on aggregate throughput and Jain fairness, using the
 //! slot-level shootout in `wavelan-mac::tdma`.
 
+use crate::executor::{trial_seed, Executor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use wavelan_mac::tdma::{compare_with_csma, MacComparison};
+
+/// This experiment's stream id for [`trial_seed`].
+pub const EXPERIMENT_ID: u64 = 14;
 
 /// One load point of the sweep.
 #[derive(Debug, Clone)]
@@ -74,29 +78,35 @@ impl TdmaResult {
 
 /// Runs the sweep: `stations` stations, loads from 10% to 160% of capacity.
 pub fn run(stations: usize, frames: usize, seed: u64) -> TdmaResult {
+    run_with(stations, frames, seed, &Executor::default())
+}
+
+/// [`run`] on an explicit executor. Each load point gets its own RNG seeded
+/// from its index (the slot shootout used to thread one RNG through the
+/// sweep, which would have serialized it).
+pub fn run_with(stations: usize, frames: usize, seed: u64, exec: &Executor) -> TdmaResult {
     let slots_per_frame = 2 * stations;
     let weights = vec![1.0; stations];
-    let mut rng = StdRng::seed_from_u64(seed);
-    let samples = (1..=8)
-        .map(|i| {
-            let offered_load = f64::from(i) * 0.2;
-            // offered_load = stations × arrival_prob (per slot).
-            let arrival_prob = offered_load / stations as f64;
-            let comparison = compare_with_csma(
-                stations,
-                slots_per_frame,
-                frames,
-                arrival_prob,
-                &weights,
-                &mut rng,
-            );
-            LoadSample {
-                arrival_prob,
-                offered_load,
-                comparison,
-            }
-        })
-        .collect();
+    let samples = exec.map_indices(8, |idx| {
+        let i = idx as u32 + 1;
+        let offered_load = f64::from(i) * 0.2;
+        // offered_load = stations × arrival_prob (per slot).
+        let arrival_prob = offered_load / stations as f64;
+        let mut rng = StdRng::seed_from_u64(trial_seed(EXPERIMENT_ID, idx as u64, seed));
+        let comparison = compare_with_csma(
+            stations,
+            slots_per_frame,
+            frames,
+            arrival_prob,
+            &weights,
+            &mut rng,
+        );
+        LoadSample {
+            arrival_prob,
+            offered_load,
+            comparison,
+        }
+    });
     TdmaResult { stations, samples }
 }
 

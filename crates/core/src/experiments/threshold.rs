@@ -16,6 +16,7 @@
 //! damaged packets appear, they simply vanish.
 
 use super::common::{expected_series, test_receiver, test_sender};
+use crate::executor::{trial_seed, Executor};
 use wavelan_analysis::analyze;
 use wavelan_mac::Thresholds;
 use wavelan_sim::runner::attach_tx_count;
@@ -68,17 +69,25 @@ impl ThresholdResult {
 /// the paper ("at least 1,400 transmitted packets ... at least 10,000
 /// transmission attempts") scaled by `packets`.
 pub fn run(thresholds: &[u8], packets: u64, seed: u64) -> ThresholdResult {
+    run_with(thresholds, packets, seed, &Executor::default())
+}
+
+/// This experiment's stream id for [`trial_seed`].
+pub const EXPERIMENT_ID: u64 = 4;
+
+/// [`run`] on an explicit executor; each threshold setting is an independent
+/// trial. The signal window is folded from the per-trial level extremes
+/// after the ordered merge, so it is identical at any worker count.
+pub fn run_with(thresholds: &[u8], packets: u64, seed: u64, exec: &Executor) -> ThresholdResult {
     let default_sweep: Vec<u8> = (14..=26).collect();
     let sweep = if thresholds.is_empty() {
         &default_sweep[..]
     } else {
         thresholds
     };
-    let mut samples = Vec::new();
-    let mut window = (u8::MAX, 0u8);
 
-    for (i, &threshold) in sweep.iter().enumerate() {
-        let mut b = ScenarioBuilder::new(seed + i as u64);
+    let per_threshold = exec.map(sweep.to_vec(), |i, threshold| {
+        let mut b = ScenarioBuilder::new(trial_seed(EXPERIMENT_ID, i as u64, seed));
         // Victim: records a trace, filters at `threshold`, and also tries to
         // send its own traffic (to the enemy) so collisions can be counted.
         let victim_id = b.next_station_id();
@@ -122,16 +131,28 @@ pub fn run(thresholds: &[u8], packets: u64, seed: u64) -> ThresholdResult {
             .count() as u64;
         let mac = result.mac_stats[victim_id];
         let (level_stats, _, _) = analysis.stats_where(|p| p.is_test);
-        if level_stats.count() > 0 {
-            window.0 = window.0.min(level_stats.min());
-            window.1 = window.1.max(level_stats.max());
-        }
-        samples.push(ThresholdSample {
+        let extremes = if level_stats.count() > 0 {
+            Some((level_stats.min(), level_stats.max()))
+        } else {
+            None
+        };
+        let sample = ThresholdSample {
             threshold,
             filtered_pct,
             collision_free_pct: mac.collision_free_fraction() * 100.0,
             damaged_delivered,
-        });
+        };
+        (sample, extremes)
+    });
+
+    let mut samples = Vec::new();
+    let mut window = (u8::MAX, 0u8);
+    for (sample, extremes) in per_threshold {
+        if let Some((lo, hi)) = extremes {
+            window.0 = window.0.min(lo);
+            window.1 = window.1.max(hi);
+        }
+        samples.push(sample);
     }
 
     ThresholdResult {

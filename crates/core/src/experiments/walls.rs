@@ -10,11 +10,15 @@
 //! by only 2 points."
 
 use super::common::{PointTrial, Scale};
+use crate::executor::{trial_seed, Executor};
 use crate::layouts;
 use wavelan_analysis::report::{render_signal_table, SignalRow};
 use wavelan_analysis::TraceAnalysis;
 use wavelan_phy::Material;
 use wavelan_sim::Propagation;
+
+/// This experiment's stream id for [`trial_seed`].
+pub const EXPERIMENT_ID: u64 = 5;
 
 /// The paper collected ≈12,720 packets (10⁸ body bits) per trial.
 pub const PAPER_PACKETS: u64 = 12_720;
@@ -71,8 +75,22 @@ impl WallsResult {
 /// Runs the four trials. The paired air/wall trials share a seed (same
 /// placement, the wall is interposed), as in the paper's method.
 pub fn run(scale: Scale, seed: u64) -> WallsResult {
+    run_with(scale, seed, &Executor::default())
+}
+
+/// [`run`] on an explicit executor; the four trials fan out independently.
+/// Each air/wall pair derives its shared seed from the *pair* index, keeping
+/// the paper's matched-placement method intact under parallel execution.
+pub fn run_with(scale: Scale, seed: u64, exec: &Executor) -> WallsResult {
     let packets = scale.packets(PAPER_PACKETS);
-    let run_one = |name, material: Option<Material>, extra_ft: f64, s| {
+    let specs: [(&'static str, Option<Material>, f64, u64); 4] = [
+        ("Air 1", None, 0.0, 0),
+        ("Wall 1", Some(Material::PlasterWireMesh), 0.0, 0),
+        ("Air 2", None, 4.0, 1),
+        ("Wall 2", Some(Material::ConcreteBlock), 4.0, 1),
+    ];
+    let trials = exec.map(specs.to_vec(), |_, (name, material, extra_ft, pair)| {
+        let s = trial_seed(EXPERIMENT_ID, pair, seed);
         let (plan, rx, tx) = match material {
             Some(m) => layouts::single_wall(m, extra_ft),
             None => {
@@ -86,15 +104,8 @@ pub fn run(scale: Scale, seed: u64) -> WallsResult {
             name,
             analysis: trial.analyze(),
         }
-    };
-    WallsResult {
-        trials: vec![
-            run_one("Air 1", None, 0.0, seed),
-            run_one("Wall 1", Some(Material::PlasterWireMesh), 0.0, seed),
-            run_one("Air 2", None, 4.0, seed + 1),
-            run_one("Wall 2", Some(Material::ConcreteBlock), 4.0, seed + 1),
-        ],
-    }
+    });
+    WallsResult { trials }
 }
 
 /// The paper measured these placements once each; its tight per-trial level

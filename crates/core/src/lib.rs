@@ -30,7 +30,9 @@
 //! number in the paper; [`layouts`] holds the floor plans.
 
 pub mod calibration;
+pub mod executor;
 pub mod experiments;
 pub mod layouts;
 
+pub use executor::{trial_seed, Executor};
 pub use experiments::common::Scale;

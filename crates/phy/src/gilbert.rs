@@ -173,7 +173,9 @@ mod tests {
     fn generated_error_rate_matches_theory() {
         let ch = reference();
         let mut rng = StdRng::seed_from_u64(1);
-        let n = 4_000_000;
+        // The estimator's relative noise is ~1/sqrt(bad bursts); at 4M bits
+        // (~80 bursts) seed luck dominates the 15% tolerance, so use 16M.
+        let n = 16_000_000;
         let errors = ch.generate(n, &mut rng);
         let rate = errors.iter().filter(|&&e| e).count() as f64 / n as f64;
         assert!(

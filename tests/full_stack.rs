@@ -62,7 +62,9 @@ fn headline_walls_create_correctable_damage() {
         );
     plan.add_wall(Segment::feet(2.0, -1.5, 2.0, 1.5), Material::HumanBody);
 
-    let mut b = ScenarioBuilder::new(31);
+    // Seed picked so the shadowing realization lands in the error region
+    // (recalibrated for the vendored xoshiro RNG stream).
+    let mut b = ScenarioBuilder::new(34);
     let rx = b.station(StationConfig::receiver(
         Endpoint::station(1),
         Point::feet(0.0, 0.0),

@@ -1,0 +1,224 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for `criterion`.
+//!
+//! Implements just enough of the criterion 0.5 API for this workspace's
+//! benches to compile and produce useful numbers offline: benchmark groups,
+//! `bench_function` / `bench_with_input`, throughput annotation, and the
+//! `criterion_group!` / `criterion_main!` macros. Measurement is a simple
+//! calibrated wall-clock loop (no statistics, no plots): each benchmark is
+//! timed over enough iterations to fill ~100 ms and reported as ns/iter
+//! plus derived throughput.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier with a parameter, e.g. `rate/R1_2`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new<P: core::fmt::Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just a parameter (used as the whole id).
+    pub fn from_parameter<P: core::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+/// The per-benchmark timing driver passed to bench closures.
+pub struct Bencher {
+    iters_hint: u64,
+    last_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `f`, auto-scaling the iteration count to ~100 ms.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up / calibration: run once, then scale.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(100);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 10_000_000) as u64;
+        let iters = iters.max(self.iters_hint);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let total = start.elapsed();
+        self.last_ns_per_iter = total.as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// A named group of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to derive rate numbers.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the sample count (accepted for API compatibility; the stand-in
+    /// sizes iterations by wall-clock instead).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iters_hint: 1,
+            last_ns_per_iter: 0.0,
+        };
+        f(&mut b);
+        self.report(&id.name, b.last_ns_per_iter);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iters_hint: 1,
+            last_ns_per_iter: 0.0,
+        };
+        f(&mut b, input);
+        self.report(&id.name, b.last_ns_per_iter);
+        self
+    }
+
+    fn report(&self, name: &str, ns_per_iter: f64) {
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                let mbps = n as f64 / ns_per_iter * 1e9 / (1024.0 * 1024.0);
+                format!("  {mbps:>10.1} MiB/s")
+            }
+            Some(Throughput::Elements(n)) => {
+                let eps = n as f64 / ns_per_iter * 1e9;
+                format!("  {eps:>10.0} elem/s")
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{:<32} {:>12.1} ns/iter{}",
+            self.name, name, ns_per_iter, rate
+        );
+        let _ = &self.criterion;
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level bench context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Default configuration.
+    pub fn default() -> Self {
+        Criterion {}
+    }
+
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(name).bench_function("", f);
+        self
+    }
+}
+
+/// Declares a bench entry point running the given functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    ($group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

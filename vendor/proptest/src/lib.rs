@@ -1,0 +1,485 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for `proptest`.
+//!
+//! A minimal property-testing engine with the API surface this workspace
+//! uses: the [`proptest!`] macro, `prop_assert*` / `prop_assume!`, range and
+//! [`any`] strategies, [`collection::vec`], [`option::of`], tuple
+//! composition, [`Strategy::prop_map`], and [`sample::Index`].
+//!
+//! Differences from upstream, deliberately accepted for an offline build:
+//! no shrinking (a failing case reports its inputs but is not minimized),
+//! no persisted failure regressions, and a fixed deterministic seed per
+//! test function (override the case count with `PROPTEST_CASES`). Failures
+//! print the generated inputs via `Debug`, so diagnosing a red property is
+//! still concrete.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod test_runner {
+    //! Deterministic case driver used by the [`crate::proptest!`] macro.
+
+    use super::*;
+
+    /// Default number of accepted cases per property.
+    pub const DEFAULT_CASES: u32 = 128;
+
+    /// How many generated cases a property accepts before passing, read
+    /// from `PROPTEST_CASES` or defaulting to [`DEFAULT_CASES`].
+    pub fn cases() -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_CASES)
+    }
+
+    /// A rejected case (via `prop_assume!`); the driver draws a fresh one.
+    #[derive(Debug)]
+    pub struct Rejected;
+
+    /// The per-test random source and bookkeeping.
+    pub struct TestRunner {
+        rng: StdRng,
+    }
+
+    impl TestRunner {
+        /// A deterministic runner; `salt` keeps sibling tests decorrelated.
+        pub fn deterministic(salt: u64) -> Self {
+            TestRunner {
+                rng: StdRng::seed_from_u64(0x70_72_6F_70 ^ salt),
+            }
+        }
+
+        /// The underlying generator.
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.rng
+        }
+    }
+}
+
+use test_runner::TestRunner;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: core::fmt::Debug;
+
+    /// Draws one value.
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: core::fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+        (**self).new_value(runner)
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: core::fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn new_value(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.inner.new_value(runner))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + core::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn new_value(&self, runner: &mut TestRunner) -> f64 {
+        runner.rng().gen_range(self.clone())
+    }
+}
+
+impl Strategy for core::ops::Range<f32> {
+    type Value = f32;
+    fn new_value(&self, runner: &mut TestRunner) -> f32 {
+        runner.rng().gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(runner),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized + core::fmt::Debug {
+    /// The strategy [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+    /// That canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Whole-domain strategy backing [`any`] for primitives and arrays.
+pub struct AnyStrategy<T> {
+    _marker: core::marker::PhantomData<fn() -> T>,
+}
+
+impl<T> Default for AnyStrategy<T> {
+    fn default() -> Self {
+        AnyStrategy {
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+macro_rules! impl_arbitrary_standard {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyStrategy<$t> {
+            type Value = $t;
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen()
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyStrategy<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyStrategy::default()
+            }
+        }
+    )*};
+}
+impl_arbitrary_standard!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64, f32);
+
+impl<T: Arbitrary, const N: usize> Strategy for AnyStrategy<[T; N]> {
+    type Value = [T; N];
+    fn new_value(&self, runner: &mut TestRunner) -> [T; N] {
+        core::array::from_fn(|_| T::arbitrary().new_value(runner))
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    type Strategy = AnyStrategy<[T; N]>;
+    fn arbitrary() -> Self::Strategy {
+        AnyStrategy::default()
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::*;
+
+    /// Length bounds for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with lengths drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length is uniform over `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let len = runner
+                .rng()
+                .gen_range(self.size.min..self.size.max_exclusive);
+            (0..len).map(|_| self.element.new_value(runner)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::*;
+
+    /// Strategy for `Option<T>`; see [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `Some` from the inner strategy ~80% of the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn new_value(&self, runner: &mut TestRunner) -> Option<S::Value> {
+            if runner.rng().gen_bool(0.8) {
+                Some(self.inner.new_value(runner))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod sample {
+    //! Position-sampling helpers.
+
+    use super::*;
+
+    /// An abstract index into a collection of yet-unknown length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Resolves against a concrete length. Panics if `len == 0`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "cannot index an empty collection");
+            ((self.0 as u128 * len as u128) >> 64) as usize
+        }
+    }
+
+    impl Strategy for AnyStrategy<Index> {
+        type Value = Index;
+        fn new_value(&self, runner: &mut TestRunner) -> Index {
+            Index(runner.rng().gen())
+        }
+    }
+
+    impl Arbitrary for Index {
+        type Strategy = AnyStrategy<Index>;
+        fn arbitrary() -> Self::Strategy {
+            AnyStrategy::default()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface.
+
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
+        Strategy,
+    };
+}
+
+/// Asserts a condition inside a property (panics with context on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*);
+    };
+}
+
+/// Rejects the current case; the driver draws a fresh one.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that drives the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let goal = $crate::test_runner::cases();
+                let mut runner = $crate::test_runner::TestRunner::deterministic(
+                    stringify!($name).len() as u64,
+                );
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                while accepted < goal {
+                    attempts += 1;
+                    assert!(
+                        attempts < goal.saturating_mul(20).max(1_000),
+                        "prop_assume! rejected too many cases ({accepted}/{goal} accepted)"
+                    );
+                    let outcome: ::core::result::Result<(), $crate::test_runner::Rejected> =
+                        (|| {
+                            $(let $pat = $crate::Strategy::new_value(&($strat), &mut runner);)+
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    if outcome.is_ok() {
+                        accepted += 1;
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Ranges stay in bounds and tuples compose.
+        #[test]
+        fn ranges_and_tuples(
+            a in 0u8..8,
+            b in 1u8..=15,
+            (x, y) in (-50.0f64..50.0, -50.0f64..50.0),
+        ) {
+            prop_assert!(a < 8);
+            prop_assert!((1..=15).contains(&b));
+            prop_assert!((-50.0..50.0).contains(&x) && (-50.0..50.0).contains(&y));
+        }
+
+        /// Vec lengths respect bounds; indexes resolve in range.
+        #[test]
+        fn vec_and_index(
+            data in crate::collection::vec(any::<u8>(), 1..64),
+            pos in any::<crate::sample::Index>(),
+        ) {
+            prop_assert!((1..64).contains(&data.len()));
+            prop_assert!(pos.index(data.len()) < data.len());
+        }
+
+        /// prop_map and option::of drive derived strategies.
+        #[test]
+        fn map_and_option(
+            v in crate::collection::vec(any::<u32>(), 0..8).prop_map(|v| v.len()),
+            o in crate::option::of(any::<bool>()),
+        ) {
+            prop_assert!(v < 8);
+            prop_assume!(o.is_some() || o.is_none());
+        }
+    }
+
+    #[test]
+    fn macro_generated_tests_run() {
+        ranges_and_tuples();
+        vec_and_index();
+        map_and_option();
+    }
+}

@@ -1,0 +1,11 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for `serde`.
+//!
+//! This workspace only uses serde as derive decoration (`wavelan-sim`'s
+//! trace/floorplan/geometry types); the actual persistence format is
+//! hand-rolled in `wavelan-sim::tracefile`. The stand-in re-exports no-op
+//! [`Serialize`]/[`Deserialize`] derives so those annotations keep
+//! compiling with the registry offline.
+
+pub use serde_derive::{Deserialize, Serialize};

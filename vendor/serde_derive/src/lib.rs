@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace's serde derives are declarative only — persistence is
+//! hand-rolled (`wavelan-sim::tracefile`) precisely so the on-disk format
+//! does not depend on serde. These derives therefore expand to nothing,
+//! which keeps `#[derive(Serialize, Deserialize)]` compiling offline.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
