@@ -85,23 +85,53 @@ impl Executor {
         T: Send,
         F: Fn(usize, I) -> T + Sync,
     {
+        self.map_with(items, || (), |_, i, it| f(i, it))
+    }
+
+    /// [`Executor::map`] with **per-worker state**: `init` runs once on each
+    /// worker thread (once total for a serial pool) and the resulting state
+    /// is threaded through every trial that worker executes.
+    ///
+    /// This is the hook for reusable scratch workspaces
+    /// (`wavelan_sim::SimScratch`): buffers and memo caches warm up once per
+    /// worker and serve every subsequent trial, instead of being rebuilt per
+    /// trial. Determinism is unaffected as long as the state carries no
+    /// trial-observable data — which worker (and thus which state instance)
+    /// runs a trial is scheduling-dependent, so `f` must derive its RNG from
+    /// the trial index alone, exactly as with `map`.
+    pub fn map_with<I, T, S, F, N>(&self, items: Vec<I>, init: N, f: F) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        N: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, I) -> T + Sync,
+    {
         let jobs = self.jobs.min(items.len());
         if jobs <= 1 {
-            return items.into_iter().enumerate().map(|(i, it)| f(i, it)).collect();
+            let mut state = init();
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, it)| f(&mut state, i, it))
+                .collect();
         }
-        let work: Vec<Mutex<Option<I>>> = items.into_iter().map(|it| Mutex::new(Some(it))).collect();
+        let work: Vec<Mutex<Option<I>>> =
+            items.into_iter().map(|it| Mutex::new(Some(it))).collect();
         let slots: Vec<Mutex<Option<T>>> = work.iter().map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         std::thread::scope(|s| {
             for _ in 0..jobs {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= work.len() {
-                        break;
+                s.spawn(|| {
+                    let mut state = init();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= work.len() {
+                            break;
+                        }
+                        let item = work[i].lock().unwrap().take().expect("item claimed once");
+                        let out = f(&mut state, i, item);
+                        *slots[i].lock().unwrap() = Some(out);
                     }
-                    let item = work[i].lock().unwrap().take().expect("item claimed once");
-                    let out = f(i, item);
-                    *slots[i].lock().unwrap() = Some(out);
                 });
             }
         });
@@ -119,6 +149,16 @@ impl Executor {
         F: Fn(usize) -> T + Sync,
     {
         self.map((0..count).collect(), |_, i| f(i))
+    }
+
+    /// [`Executor::map_with`] over a bare index range.
+    pub fn map_indices_with<T, S, F, N>(&self, count: usize, init: N, f: F) -> Vec<T>
+    where
+        T: Send,
+        N: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+    {
+        self.map_with((0..count).collect(), init, |s, _, i| f(s, i))
     }
 }
 
@@ -145,6 +185,22 @@ mod tests {
         };
         let serial = Executor::serial().map_indices(64, work);
         let parallel = Executor::new(8).map_indices(64, work);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn map_with_worker_state_is_not_observable() {
+        // State accumulates across trials on each worker (like a scratch
+        // buffer), but outputs depend only on the trial index — so serial
+        // and parallel runs agree bit-for-bit.
+        let work = |state: &mut Vec<u64>, i: usize| -> u64 {
+            state.push(i as u64);
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(trial_seed(9, i as u64, 7));
+            rng.gen_range(0u64..1_000)
+        };
+        let serial = Executor::serial().map_indices_with(64, Vec::new, work);
+        let parallel = Executor::new(8).map_indices_with(64, Vec::new, work);
         assert_eq!(serial, parallel);
     }
 

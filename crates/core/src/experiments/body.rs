@@ -12,7 +12,7 @@ use crate::executor::{trial_seed, Executor};
 use crate::layouts;
 use wavelan_analysis::report::{render_results_table, render_signal_table, SignalRow};
 use wavelan_analysis::{PacketClass, TraceAnalysis, TrialSummary};
-use wavelan_sim::Propagation;
+use wavelan_sim::{Propagation, SimScratch};
 
 /// This experiment's stream id for [`trial_seed`].
 pub const EXPERIMENT_ID: u64 = 7;
@@ -97,7 +97,7 @@ pub fn run(scale: Scale, seed: u64) -> BodyResult {
 pub fn run_with(scale: Scale, seed: u64, exec: &Executor) -> BodyResult {
     let packets = scale.packets(PAPER_PACKETS);
     let (plan, rx, tx) = layouts::hallway();
-    let mut analyses = exec.map_indices(2, |i| {
+    let mut analyses = exec.map_indices_with(2, SimScratch::new, |scratch, i| {
         let plan = if i == 0 {
             plan.clone()
         } else {
@@ -113,7 +113,7 @@ pub fn run_with(scale: Scale, seed: u64, exec: &Executor) -> BodyResult {
             packets,
             trial_seed(EXPERIMENT_ID, i as u64, seed),
         )
-        .analyze()
+        .analyze_in(scratch)
     });
     let body = analyses.pop().expect("body stream");
     let no_body = analyses.pop().expect("no-body stream");

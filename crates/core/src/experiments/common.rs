@@ -7,8 +7,8 @@ use wavelan_mac::Thresholds;
 use wavelan_net::testpkt::Endpoint;
 use wavelan_sim::runner::attach_tx_count;
 use wavelan_sim::{
-    AmbientSource, FloorPlan, Point, Propagation, Scenario, ScenarioBuilder, StationConfig, Trace,
-    TrialResult,
+    AmbientSource, FloorPlan, Point, Propagation, Scenario, ScenarioBuilder, SimScratch,
+    StationConfig, Trace, TrialResult,
 };
 
 /// How large to run each trial relative to the paper.
@@ -118,8 +118,14 @@ impl PointTrial {
     /// Runs the trial and returns the receiver trace (with the transmitted
     /// count attached) plus the full result.
     pub fn run(&self) -> (Trace, TrialResult) {
+        self.run_in(&mut SimScratch::new())
+    }
+
+    /// [`PointTrial::run`] with a caller-owned scratch workspace, so
+    /// buffers and memo caches persist across trials (bit-identical).
+    pub fn run_in(&self, scratch: &mut SimScratch) -> (Trace, TrialResult) {
         let (scenario, rx, tx) = self.scenario();
-        let mut result = scenario.run(tx, self.packets);
+        let mut result = scenario.run_in(tx, self.packets, scratch);
         attach_tx_count(&mut result, rx, tx);
         let trace = result.traces[rx].clone().expect("receiver records");
         (trace, result)
@@ -127,7 +133,12 @@ impl PointTrial {
 
     /// Runs and analyzes in one step.
     pub fn analyze(&self) -> TraceAnalysis {
-        let (trace, _) = self.run();
+        self.analyze_in(&mut SimScratch::new())
+    }
+
+    /// [`PointTrial::analyze`] with a caller-owned scratch workspace.
+    pub fn analyze_in(&self, scratch: &mut SimScratch) -> TraceAnalysis {
+        let (trace, _) = self.run_in(scratch);
         analyze(&trace, &expected_series())
     }
 }

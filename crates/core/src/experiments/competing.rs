@@ -18,7 +18,7 @@ use wavelan_mac::csma::MacStats;
 use wavelan_mac::Thresholds;
 use wavelan_net::testpkt::Endpoint;
 use wavelan_sim::runner::attach_tx_count;
-use wavelan_sim::{Propagation, ScenarioBuilder, StationConfig};
+use wavelan_sim::{Propagation, ScenarioBuilder, SimScratch, StationConfig};
 
 /// The paper collected 10⁸ bits ≈ 12,715 packets per trial.
 pub const PAPER_PACKETS: u64 = 12_720;
@@ -108,6 +108,7 @@ fn run_trial(
     threshold: u8,
     packets: u64,
     seed: u64,
+    scratch: &mut SimScratch,
 ) -> CompetingTrial {
     let MultiRoom {
         plan,
@@ -145,7 +146,7 @@ fn run_trial(
     prop.shadowing_sigma_db = 0.0;
     scenario.propagation = prop;
     // Bound the run: at threshold 3 the victim may never finish its quota.
-    let mut result = scenario.run_with_limit(tx_id, packets, 120_000_000_000);
+    let mut result = scenario.run_with_limit_in(tx_id, packets, 120_000_000_000, scratch);
     attach_tx_count(&mut result, rx_id, tx_id);
     let trace = result.traces[rx_id].clone().expect("receiver records");
     CompetingTrial {
@@ -177,9 +178,13 @@ pub fn run_with(scale: Scale, seed: u64, exec: &Executor) -> CompetingResult {
         // it will hit the time bound instead.
         ("Threshold 3", true, 3, packets.min(500)),
     ];
-    let mut trials = exec.map(specs.to_vec(), |_, (name, jammers, threshold, quota)| {
-        run_trial(name, jammers, threshold, quota, shared)
-    });
+    let mut trials = exec.map_with(
+        specs.to_vec(),
+        SimScratch::new,
+        |scratch, _, (name, jammers, threshold, quota)| {
+            run_trial(name, jammers, threshold, quota, shared, scratch)
+        },
+    );
     let threshold3 = trials.pop().expect("threshold-3 trial");
     let with_interference = trials.pop().expect("jammed trial");
     let without_interference = trials.pop().expect("clean trial");

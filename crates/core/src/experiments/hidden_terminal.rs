@@ -16,7 +16,7 @@ use crate::executor::{trial_seed, Executor};
 use wavelan_analysis::analyze;
 use wavelan_net::testpkt::Endpoint;
 use wavelan_sim::runner::attach_tx_count;
-use wavelan_sim::{Point, Propagation, ScenarioBuilder, StationConfig};
+use wavelan_sim::{Point, Propagation, ScenarioBuilder, SimScratch, StationConfig};
 
 /// One configuration's outcome.
 #[derive(Debug, Clone, Copy)]
@@ -67,7 +67,12 @@ impl HiddenTerminalResult {
     }
 }
 
-fn run_once(capture_margin_db: f64, packets: u64, seed: u64) -> HiddenOutcome {
+fn run_once(
+    capture_margin_db: f64,
+    packets: u64,
+    seed: u64,
+    scratch: &mut SimScratch,
+) -> HiddenOutcome {
     // Victim at the origin; near partner 28 ft away (level ≈ 18); the hidden
     // transmitter 194 ft away off-axis (level ≈ 9.5 at the victim). A metal
     // cabinet is placed so that it blocks only the near↔hidden path: the
@@ -75,16 +80,20 @@ fn run_once(capture_margin_db: f64, packets: u64, seed: u64) -> HiddenOutcome {
     // other — the textbook hidden-terminal geometry, at the study's default
     // thresholds ("operated without thresholding").
     let mut b = ScenarioBuilder::new(seed);
-    let victim =
-        b.station(StationConfig::receiver(test_receiver(), Point::feet(0.0, 0.0)));
-    let near =
-        b.station(StationConfig::sender(test_sender(), Point::feet(28.0, 0.0), victim));
+    let victim = b.station(StationConfig::receiver(
+        test_receiver(),
+        Point::feet(0.0, 0.0),
+    ));
+    let near = b.station(StationConfig::sender(
+        test_sender(),
+        Point::feet(28.0, 0.0),
+        victim,
+    ));
     // The hidden transmitter saturates toward its own far peer so its
     // packets are not part of the test series. It keeps the *default*
     // carrier threshold — it simply cannot hear the near sender.
     let h = b.next_station_id();
-    let mut hidden =
-        StationConfig::jammer(Endpoint::foreign(5), Point::feet(-190.0, 40.0), h + 1);
+    let mut hidden = StationConfig::jammer(Endpoint::foreign(5), Point::feet(-190.0, 40.0), h + 1);
     hidden.thresholds = wavelan_mac::Thresholds::default();
     b.station(hidden);
     b.station(StationConfig {
@@ -102,7 +111,7 @@ fn run_once(capture_margin_db: f64, packets: u64, seed: u64) -> HiddenOutcome {
     scenario.propagation = prop;
     scenario.capture_margin_db = capture_margin_db;
 
-    let mut result = scenario.run_with_limit(near, packets, 60_000_000_000);
+    let mut result = scenario.run_with_limit_in(near, packets, 60_000_000_000, scratch);
     attach_tx_count(&mut result, victim, near);
     let analysis = analyze(result.trace(victim), &expected_series());
     HiddenOutcome {
@@ -128,7 +137,9 @@ pub fn run(packets: u64, seed: u64) -> HiddenTerminalResult {
 pub fn run_with(packets: u64, seed: u64, exec: &Executor) -> HiddenTerminalResult {
     let shared = trial_seed(EXPERIMENT_ID, 0, seed);
     let margins = vec![wavelan_sim::runner::CAPTURE_MARGIN_DB, f64::INFINITY];
-    let mut outcomes = exec.map(margins, |_, margin| run_once(margin, packets, shared));
+    let mut outcomes = exec.map_with(margins, SimScratch::new, |scratch, _, margin| {
+        run_once(margin, packets, shared, scratch)
+    });
     let without_capture = outcomes.pop().expect("ablated config");
     let with_capture = outcomes.pop().expect("default config");
     HiddenTerminalResult {

@@ -16,7 +16,7 @@ use crate::executor::{trial_seed, Executor};
 use crate::layouts;
 use wavelan_analysis::report::render_results_table;
 use wavelan_analysis::TrialSummary;
-use wavelan_sim::Propagation;
+use wavelan_sim::{Propagation, SimScratch};
 
 /// This experiment's stream id for [`trial_seed`].
 pub const EXPERIMENT_ID: u64 = 1;
@@ -77,7 +77,7 @@ pub fn run(scale: Scale, base_seed: u64) -> InRoomResult {
 /// trial's propagation and scenario streams derive purely from its index,
 /// so the result is identical at any worker count.
 pub fn run_with(scale: Scale, base_seed: u64, exec: &Executor) -> InRoomResult {
-    let trials = exec.map_indices(PAPER_TRIALS.len(), |i| {
+    let trials = exec.map_indices_with(PAPER_TRIALS.len(), SimScratch::new, |scratch, i| {
         let (name, paper_packets) = PAPER_TRIALS[i];
         let (plan, rx, tx) = layouts::office();
         let trial = PointTrial::new(
@@ -88,7 +88,7 @@ pub fn run_with(scale: Scale, base_seed: u64, exec: &Executor) -> InRoomResult {
             scale.packets(paper_packets),
             trial_seed(EXPERIMENT_ID, 2 * i as u64, base_seed),
         );
-        TrialSummary::from_analysis(name, &trial.analyze())
+        TrialSummary::from_analysis(name, &trial.analyze_in(scratch))
     });
     InRoomResult { trials }
 }

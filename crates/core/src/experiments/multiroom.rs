@@ -13,7 +13,7 @@ use crate::executor::{trial_seed, Executor};
 use crate::layouts::{self, MultiRoom};
 use wavelan_analysis::report::{render_results_table, render_signal_table, SignalRow};
 use wavelan_analysis::{PacketClass, TraceAnalysis, TrialSummary};
-use wavelan_sim::Propagation;
+use wavelan_sim::{Propagation, SimScratch};
 
 /// Paper packet counts per location (Tables 5–6).
 pub const PAPER_PACKETS: [(&str, u64); 4] = [
@@ -116,7 +116,7 @@ pub fn run_with(scale: Scale, seed: u64, exec: &Executor) -> MultiRoomResult {
         tx5,
     } = layouts::multiroom();
     let positions = [tx1, tx2, tx4, tx5];
-    let locations = exec.map_indices(PAPER_PACKETS.len(), |i| {
+    let locations = exec.map_indices_with(PAPER_PACKETS.len(), SimScratch::new, |scratch, i| {
         let (name, paper_packets) = PAPER_PACKETS[i];
         let trial = PointTrial::new(
             plan.clone(),
@@ -128,7 +128,7 @@ pub fn run_with(scale: Scale, seed: u64, exec: &Executor) -> MultiRoomResult {
         );
         LocationResult {
             name,
-            analysis: trial.analyze(),
+            analysis: trial.analyze_in(scratch),
         }
     });
     MultiRoomResult { locations }

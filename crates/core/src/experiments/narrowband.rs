@@ -17,7 +17,7 @@ use crate::executor::{trial_seed, Executor};
 use wavelan_analysis::report::{render_signal_table, SignalRow};
 use wavelan_analysis::{analyze, PacketClass, TraceAnalysis};
 use wavelan_sim::runner::attach_tx_count;
-use wavelan_sim::{Point, Propagation, ScenarioBuilder, StationConfig};
+use wavelan_sim::{Point, Propagation, ScenarioBuilder, SimScratch, StationConfig};
 
 /// The paper collected ≈1,440 packets per trial.
 pub const PAPER_PACKETS: u64 = 1_440;
@@ -101,9 +101,10 @@ pub fn run(scale: Scale, seed: u64) -> NarrowbandResult {
 /// [`run`] on an explicit executor; the five trials fan out independently.
 pub fn run_with(scale: Scale, seed: u64, exec: &Executor) -> NarrowbandResult {
     let packets = scale.packets(PAPER_PACKETS);
-    let trials = exec.map(
+    let trials = exec.map_with(
         trial_specs(),
-        |i, (name, phone_power, outsiders)| {
+        SimScratch::new,
+        |scratch, i, (name, phone_power, outsiders)| {
             let mut b = ScenarioBuilder::new(trial_seed(EXPERIMENT_ID, i as u64, seed));
             let rx = b.station(StationConfig::receiver(
                 test_receiver(),
@@ -122,7 +123,7 @@ pub fn run_with(scale: Scale, seed: u64, exec: &Executor) -> NarrowbandResult {
             }
             let mut scenario = b.build();
             scenario.propagation = Propagation::indoor(seed);
-            let mut result = scenario.run(tx, packets);
+            let mut result = scenario.run_in(tx, packets, scratch);
             attach_tx_count(&mut result, rx, tx);
             let trace = result.traces[rx].clone().expect("receiver records");
             NarrowbandTrial {

@@ -14,7 +14,7 @@ use super::common::PointTrial;
 use crate::executor::{trial_seed, Executor};
 use crate::layouts;
 use wavelan_analysis::SignalStats;
-use wavelan_sim::{Point, Propagation};
+use wavelan_sim::{Point, Propagation, SimScratch};
 
 /// This experiment's stream id for [`trial_seed`].
 pub const EXPERIMENT_ID: u64 = 2;
@@ -96,7 +96,7 @@ pub fn run_with(
         distances_ft
     };
     let (plan, rx) = layouts::lecture_hall_receiver();
-    let samples = exec.map(distances.to_vec(), |i, d| {
+    let samples = exec.map_with(distances.to_vec(), SimScratch::new, |scratch, i, d| {
         let trial = PointTrial::new(
             plan.clone(),
             Propagation::lecture_hall(seed),
@@ -105,7 +105,7 @@ pub fn run_with(
             packets_per_point,
             trial_seed(EXPERIMENT_ID, i as u64, seed),
         );
-        let analysis = trial.analyze();
+        let analysis = trial.analyze_in(scratch);
         let (level, _, _) = analysis.stats_where(|p| p.is_test);
         DistanceSample {
             distance_ft: d,

@@ -15,7 +15,7 @@ use crate::executor::{trial_seed, Executor};
 use wavelan_analysis::{analyze, PacketClass};
 use wavelan_mac::Thresholds;
 use wavelan_sim::runner::attach_tx_count;
-use wavelan_sim::{Point, Propagation, ScenarioBuilder, StationConfig};
+use wavelan_sim::{Point, Propagation, ScenarioBuilder, SimScratch, StationConfig};
 
 /// One threshold's outcome.
 #[derive(Debug, Clone, Copy)]
@@ -93,8 +93,10 @@ pub fn run(scale: Scale, seed: u64) -> QualityThresholdResult {
 pub fn run_with(scale: Scale, seed: u64, exec: &Executor) -> QualityThresholdResult {
     let packets = scale.packets(1_440);
     let shared = trial_seed(EXPERIMENT_ID, 0, seed);
-    let samples = exec.map(vec![1u8, 8, 11, 13, 15], |_, threshold| {
-        {
+    let samples = exec.map_with(
+        vec![1u8, 8, 11, 13, 15],
+        SimScratch::new,
+        |scratch, _, threshold| {
             let mut b = ScenarioBuilder::new(shared);
             let rx = b.station(StationConfig {
                 thresholds: Thresholds {
@@ -114,7 +116,7 @@ pub fn run_with(scale: Scale, seed: u64, exec: &Executor) -> QualityThresholdRes
             let mut prop = Propagation::indoor(shared);
             prop.shadowing_sigma_db = 0.0;
             scenario.propagation = prop;
-            let mut result = scenario.run(tx, packets);
+            let mut result = scenario.run_in(tx, packets, scratch);
             attach_tx_count(&mut result, rx, tx);
             let analysis = analyze(result.trace(rx), &expected_series());
             let delivered = analysis.test_packets().count();
@@ -125,8 +127,8 @@ pub fn run_with(scale: Scale, seed: u64, exec: &Executor) -> QualityThresholdRes
                 truncated_delivered: analysis.count(PacketClass::Truncated),
                 filtered: result.packets_filtered[rx],
             }
-        }
-    });
+        },
+    );
     QualityThresholdResult { samples }
 }
 

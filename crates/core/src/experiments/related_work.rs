@@ -20,7 +20,7 @@ use crate::executor::{trial_seed, Executor};
 use wavelan_analysis::{analyze, PacketClass};
 use wavelan_phy::fading::TwoRay;
 use wavelan_sim::runner::attach_tx_count;
-use wavelan_sim::{FloorPlan, Point, Propagation, ScenarioBuilder, StationConfig};
+use wavelan_sim::{FloorPlan, Point, Propagation, ScenarioBuilder, SimScratch, StationConfig};
 
 /// One distance sample of the sweep.
 #[derive(Debug, Clone, Copy)]
@@ -101,36 +101,30 @@ fn sweep(
     stream_offset: u64,
     exec: &Executor,
 ) -> Vec<ScatterSample> {
-    exec.map(distances.to_vec(), |i, d| {
-        {
-            let mut b = ScenarioBuilder::new(trial_seed(
-                EXPERIMENT_ID,
-                stream_offset + i as u64,
-                seed,
-            ));
-            let rx = b.station(StationConfig::receiver(
-                test_receiver(),
-                Point::feet(0.0, 0.0),
-            ));
-            let tx = b.station(StationConfig::sender(
-                test_sender(),
-                Point::feet(d, 0.0),
-                rx,
-            ));
-            let mut scenario = b.floorplan(plan.clone()).build();
-            scenario.propagation = propagation.clone();
-            let mut result = scenario.run(tx, packets);
-            attach_tx_count(&mut result, rx, tx);
-            let analysis = analyze(result.trace(rx), &expected_series());
-            let received = analysis.test_packets().count().max(1);
-            let corrupted = received - analysis.count(PacketClass::Undamaged);
-            let (level, _, _) = analysis.stats_where(|p| p.is_test);
-            ScatterSample {
-                distance_ft: d,
-                mean_level: level.mean(),
-                loss: analysis.packet_loss(),
-                corruption: corrupted as f64 / received as f64,
-            }
+    exec.map_with(distances.to_vec(), SimScratch::new, |scratch, i, d| {
+        let mut b = ScenarioBuilder::new(trial_seed(EXPERIMENT_ID, stream_offset + i as u64, seed));
+        let rx = b.station(StationConfig::receiver(
+            test_receiver(),
+            Point::feet(0.0, 0.0),
+        ));
+        let tx = b.station(StationConfig::sender(
+            test_sender(),
+            Point::feet(d, 0.0),
+            rx,
+        ));
+        let mut scenario = b.floorplan(plan.clone()).build();
+        scenario.propagation = propagation.clone();
+        let mut result = scenario.run_in(tx, packets, scratch);
+        attach_tx_count(&mut result, rx, tx);
+        let analysis = analyze(result.trace(rx), &expected_series());
+        let received = analysis.test_packets().count().max(1);
+        let corrupted = received - analysis.count(PacketClass::Undamaged);
+        let (level, _, _) = analysis.stats_where(|p| p.is_test);
+        ScatterSample {
+            distance_ft: d,
+            mean_level: level.mean(),
+            loss: analysis.packet_loss(),
+            corruption: corrupted as f64 / received as f64,
         }
     })
 }

@@ -16,7 +16,7 @@ use crate::executor::{trial_seed, Executor};
 use wavelan_analysis::report::{render_signal_table, SignalRow};
 use wavelan_analysis::{analyze, PacketClass, TraceAnalysis};
 use wavelan_sim::runner::attach_tx_count;
-use wavelan_sim::{Point, ScenarioBuilder, StationConfig};
+use wavelan_sim::{Point, ScenarioBuilder, SimScratch, StationConfig};
 
 /// Sender distances (ft) whose calibrated levels ladder from ≈27 down into
 /// the error region (see the module docs of `crate::layouts` on distances).
@@ -127,42 +127,43 @@ pub fn run(scale: Scale, seed: u64) -> SignalVsErrorResult {
 pub fn run_with(scale: Scale, seed: u64, exec: &Executor) -> SignalVsErrorResult {
     let packets_per_position = scale.packets(8_634 / POSITION_LADDER_FT.len() as u64);
 
-    let per_position = exec.map_indices(POSITION_LADDER_FT.len(), |i| {
-        let d = POSITION_LADDER_FT[i];
-        let mut b = ScenarioBuilder::new(trial_seed(EXPERIMENT_ID, i as u64, seed));
-        let rx = b.station(StationConfig::receiver(
-            test_receiver(),
-            Point::feet(0.0, 0.0),
-        ));
-        let tx = b.station(StationConfig::sender(
-            test_sender(),
-            Point::feet(d, 0.0),
-            rx,
-        ));
-        // The outsiders: a pair from a nearby building, one marginally
-        // audible (level ≈ 4–5, usually damaged), the other far beyond it.
-        add_outsider_pair(&mut b, Point::feet(-430.0, 60.0), Point::feet(-540.0, 80.0));
-        let scenario = b.build();
-        let mut result = scenario.run(tx, packets_per_position);
-        attach_tx_count(&mut result, rx, tx);
-        let trace = result.traces[rx].clone().expect("receiver records");
-        let analysis = analyze(&trace, &expected_series());
+    let per_position =
+        exec.map_indices_with(POSITION_LADDER_FT.len(), SimScratch::new, |scratch, i| {
+            let d = POSITION_LADDER_FT[i];
+            let mut b = ScenarioBuilder::new(trial_seed(EXPERIMENT_ID, i as u64, seed));
+            let rx = b.station(StationConfig::receiver(
+                test_receiver(),
+                Point::feet(0.0, 0.0),
+            ));
+            let tx = b.station(StationConfig::sender(
+                test_sender(),
+                Point::feet(d, 0.0),
+                rx,
+            ));
+            // The outsiders: a pair from a nearby building, one marginally
+            // audible (level ≈ 4–5, usually damaged), the other far beyond it.
+            add_outsider_pair(&mut b, Point::feet(-430.0, 60.0), Point::feet(-540.0, 80.0));
+            let scenario = b.build();
+            let mut result = scenario.run_in(tx, packets_per_position, scratch);
+            attach_tx_count(&mut result, rx, tx);
+            let trace = result.traces[rx].clone().expect("receiver records");
+            let analysis = analyze(&trace, &expected_series());
 
-        let (level, _, _) = analysis.stats_where(|p| p.is_test);
-        let received = analysis.test_packets().count();
-        let damaged = received - analysis.count(PacketClass::Undamaged);
-        let sample = PositionSample {
-            distance_ft: d,
-            mean_level: level.mean(),
-            loss: analysis.packet_loss(),
-            damaged_fraction: if received == 0 {
-                0.0
-            } else {
-                damaged as f64 / received as f64
-            },
-        };
-        (sample, analysis)
-    });
+            let (level, _, _) = analysis.stats_where(|p| p.is_test);
+            let received = analysis.test_packets().count();
+            let damaged = received - analysis.count(PacketClass::Undamaged);
+            let sample = PositionSample {
+                distance_ft: d,
+                mean_level: level.mean(),
+                loss: analysis.packet_loss(),
+                damaged_fraction: if received == 0 {
+                    0.0
+                } else {
+                    damaged as f64 / received as f64
+                },
+            };
+            (sample, analysis)
+        });
 
     let mut pooled_packets = Vec::new();
     let mut transmitted = 0u64;

@@ -20,7 +20,7 @@ use crate::executor::{trial_seed, Executor};
 use wavelan_analysis::report::{render_results_table, render_signal_table, SignalRow};
 use wavelan_analysis::{analyze, PacketClass, TraceAnalysis, TrialSummary};
 use wavelan_sim::runner::attach_tx_count;
-use wavelan_sim::{AmbientSource, Point, Propagation, ScenarioBuilder, StationConfig};
+use wavelan_sim::{AmbientSource, Point, Propagation, ScenarioBuilder, SimScratch, StationConfig};
 
 /// The paper collected enough packets per run "to yield roughly 10⁷ bits of
 /// packet body" — ≈1,440 arriving packets; the jam trials need about twice
@@ -217,9 +217,10 @@ pub fn run(scale: Scale, seed: u64) -> SsPhoneResult {
 /// [`run`] on an explicit executor; the six trials fan out independently.
 pub fn run_with(scale: Scale, seed: u64, exec: &Executor) -> SsPhoneResult {
     let packets = scale.packets(PAPER_PACKETS);
-    let trials = exec.map(
+    let trials = exec.map_with(
         trial_specs(),
-        |i, (name, phones, outsiders)| {
+        SimScratch::new,
+        |scratch, i, (name, phones, outsiders)| {
             let mut b = ScenarioBuilder::new(trial_seed(EXPERIMENT_ID, i as u64, seed));
             let rx = b.station(StationConfig::receiver(
                 test_receiver(),
@@ -242,7 +243,7 @@ pub fn run_with(scale: Scale, seed: u64, exec: &Executor) -> SsPhoneResult {
             let mut prop = Propagation::indoor(seed);
             prop.shadowing_sigma_db = 0.0;
             scenario.propagation = prop;
-            let mut result = scenario.run(tx, packets);
+            let mut result = scenario.run_in(tx, packets, scratch);
             attach_tx_count(&mut result, rx, tx);
             let trace = result.traces[rx].clone().expect("receiver records");
             SsPhoneTrial {

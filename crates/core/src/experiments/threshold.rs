@@ -21,7 +21,7 @@ use wavelan_analysis::analyze;
 use wavelan_mac::Thresholds;
 use wavelan_sim::runner::attach_tx_count;
 use wavelan_sim::station::Traffic;
-use wavelan_sim::{Point, ScenarioBuilder, StationConfig};
+use wavelan_sim::{Point, ScenarioBuilder, SimScratch, StationConfig};
 
 /// One point of the Figure 3 curves.
 #[derive(Debug, Clone, Copy)]
@@ -86,7 +86,7 @@ pub fn run_with(thresholds: &[u8], packets: u64, seed: u64, exec: &Executor) -> 
         thresholds
     };
 
-    let per_threshold = exec.map(sweep.to_vec(), |i, threshold| {
+    let per_threshold = exec.map_with(sweep.to_vec(), SimScratch::new, |scratch, i, threshold| {
         let mut b = ScenarioBuilder::new(trial_seed(EXPERIMENT_ID, i as u64, seed));
         // Victim: records a trace, filters at `threshold`, and also tries to
         // send its own traffic (to the enemy) so collisions can be counted.
@@ -111,7 +111,7 @@ pub fn run_with(thresholds: &[u8], packets: u64, seed: u64, exec: &Executor) -> 
         // Keep the shadowing realization fixed across the sweep: same seed.
         let mut scenario = b.build();
         scenario.propagation = wavelan_sim::Propagation::indoor(seed);
-        let mut result = scenario.run(enemy_id, packets);
+        let mut result = scenario.run_in(enemy_id, packets, scratch);
         attach_tx_count(&mut result, victim_id, enemy_id);
 
         let trace = result.traces[victim_id].clone().expect("victim records");

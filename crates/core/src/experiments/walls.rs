@@ -15,7 +15,7 @@ use crate::layouts;
 use wavelan_analysis::report::{render_signal_table, SignalRow};
 use wavelan_analysis::TraceAnalysis;
 use wavelan_phy::Material;
-use wavelan_sim::Propagation;
+use wavelan_sim::{Propagation, SimScratch};
 
 /// This experiment's stream id for [`trial_seed`].
 pub const EXPERIMENT_ID: u64 = 5;
@@ -89,22 +89,26 @@ pub fn run_with(scale: Scale, seed: u64, exec: &Executor) -> WallsResult {
         ("Air 2", None, 4.0, 1),
         ("Wall 2", Some(Material::ConcreteBlock), 4.0, 1),
     ];
-    let trials = exec.map(specs.to_vec(), |_, (name, material, extra_ft, pair)| {
-        let s = trial_seed(EXPERIMENT_ID, pair, seed);
-        let (plan, rx, tx) = match material {
-            Some(m) => layouts::single_wall(m, extra_ft),
-            None => {
-                // The matched air trial at the same total separation.
-                let (plan, rx, _) = layouts::office();
-                (plan, rx, wavelan_sim::Point::feet(7.0 + extra_ft, 0.0))
+    let trials = exec.map_with(
+        specs.to_vec(),
+        SimScratch::new,
+        |scratch, _, (name, material, extra_ft, pair)| {
+            let s = trial_seed(EXPERIMENT_ID, pair, seed);
+            let (plan, rx, tx) = match material {
+                Some(m) => layouts::single_wall(m, extra_ft),
+                None => {
+                    // The matched air trial at the same total separation.
+                    let (plan, rx, _) = layouts::office();
+                    (plan, rx, wavelan_sim::Point::feet(7.0 + extra_ft, 0.0))
+                }
+            };
+            let trial = PointTrial::new(plan, pinned_propagation(s), rx, tx, packets, s);
+            WallTrial {
+                name,
+                analysis: trial.analyze_in(scratch),
             }
-        };
-        let trial = PointTrial::new(plan, pinned_propagation(s), rx, tx, packets, s);
-        WallTrial {
-            name,
-            analysis: trial.analyze(),
-        }
-    });
+        },
+    );
     WallsResult { trials }
 }
 

@@ -160,11 +160,25 @@ impl Interferer {
     /// use [`Interferer::emissions_at`], which anchors the phase to absolute
     /// time.
     pub fn emissions<R: Rng + ?Sized>(&self, len_bits: u64, rng: &mut R) -> Vec<Emission> {
+        let mut out = Vec::new();
+        self.emissions_into(len_bits, rng, &mut out);
+        out
+    }
+
+    /// [`Interferer::emissions`], appending into a caller-owned buffer so
+    /// the per-packet hot path can reuse its allocation. Identical RNG draw
+    /// sequence and emissions as the allocating variant.
+    pub fn emissions_into<R: Rng + ?Sized>(
+        &self,
+        len_bits: u64,
+        rng: &mut R,
+        out: &mut Vec<Emission>,
+    ) {
         let phase = match self.duty {
             DutyCycle::Continuous => 0,
             DutyCycle::Burst { period_bits, .. } => rng.gen_range(0..period_bits),
         };
-        self.emissions_with_phase(len_bits, phase, rng)
+        self.emissions_with_phase_into(len_bits, phase, rng, out);
     }
 
     /// Emission intervals for a packet that starts at absolute bit-time
@@ -177,30 +191,45 @@ impl Interferer {
         len_bits: u64,
         rng: &mut R,
     ) -> Vec<Emission> {
+        let mut out = Vec::new();
+        self.emissions_at_into(start_bit_time, len_bits, rng, &mut out);
+        out
+    }
+
+    /// [`Interferer::emissions_at`], appending into a caller-owned buffer.
+    /// Identical RNG draw sequence and emissions as the allocating variant.
+    pub fn emissions_at_into<R: Rng + ?Sized>(
+        &self,
+        start_bit_time: u64,
+        len_bits: u64,
+        rng: &mut R,
+        out: &mut Vec<Emission>,
+    ) {
         let phase = match self.duty {
             DutyCycle::Continuous => 0,
             DutyCycle::Burst { period_bits, .. } => start_bit_time % period_bits,
         };
-        self.emissions_with_phase(len_bits, phase, rng)
+        self.emissions_with_phase_into(len_bits, phase, rng, out);
     }
 
     /// The common core: `phase` is where in its frame the interferer is at
-    /// the packet's bit 0.
-    fn emissions_with_phase<R: Rng + ?Sized>(
+    /// the packet's bit 0. Appends to `out`.
+    fn emissions_with_phase_into<R: Rng + ?Sized>(
         &self,
         len_bits: u64,
         phase: u64,
         rng: &mut R,
-    ) -> Vec<Emission> {
+        out: &mut Vec<Emission>,
+    ) {
         match self.duty {
             DutyCycle::Continuous => {
                 let power = self.power_dbm + gaussian(rng, self.burst_sigma_db);
-                vec![Emission {
+                out.push(Emission {
                     start_bit: 0,
                     end_bit: len_bits,
                     raw_dbm: power,
                     kind: self.kind,
-                }]
+                });
             }
             DutyCycle::Burst {
                 period_bits,
@@ -211,7 +240,6 @@ impl Interferer {
                     "invalid duty cycle"
                 );
                 assert!(phase < period_bits, "phase must lie within a period");
-                let mut out = Vec::new();
                 // Walk frames covering [0, len_bits).
                 let mut frame_start = -(phase as i64);
                 while (frame_start as i128) < len_bits as i128 {
@@ -230,7 +258,6 @@ impl Interferer {
                     }
                     frame_start += period_bits as i64;
                 }
-                out
             }
         }
     }

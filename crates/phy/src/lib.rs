@@ -43,6 +43,32 @@
 //! [`spreading`] exists so the closed forms can be validated against an actual
 //! waveform simulation (see `tests/modem_validation.rs`) and so the
 //! processing-gain claims are demonstrated rather than asserted.
+//!
+//! ## Reception hot path: `RxScratch` and `ChannelCache`
+//!
+//! [`link::LinkModel::receive_with`] is the allocation-free variant of the
+//! pipeline. It threads a [`scratch::RxScratch`] workspace through reception
+//! so that steady-state packet processing performs **zero heap allocations**
+//! and memoizes the expensive transcendental conversions (`powf`, `log10`,
+//! `erfc`) in a [`scratch::ChannelCache`]. The caches store *exact* `f64`
+//! results keyed by input bit pattern, so the hot path is bit-identical to
+//! the plain [`link::LinkModel::receive`] reference — same RNG draw
+//! sequence, same outcomes (property-tested in `tests/props.rs`).
+//!
+//! Ownership rules:
+//!
+//! * One `RxScratch` per worker thread (or per [`sim` runner]); it is `Send`
+//!   but not shared — never hand one scratch to two concurrent receivers.
+//! * Reusing a scratch across packets, trials, and seeds is always safe: it
+//!   carries no trial-observable state (caches are exact-value memos and the
+//!   segment timeline is re-validated against the emission set per packet).
+//! * Consumers of a [`link::Reception`] should return the `error_bits`
+//!   buffer via [`scratch::RxScratch::recycle_error_buf`] once done, e.g.
+//!   `scratch.recycle_error_buf(std::mem::take(&mut reception.error_bits))`;
+//!   skipping this is correct but reintroduces one allocation per errored
+//!   packet.
+//!
+//! [`sim` runner]: link::LinkModel::receive_with
 
 pub mod agc;
 pub mod antenna;
@@ -56,12 +82,14 @@ pub mod math;
 pub mod modulation;
 pub mod pathloss;
 pub mod quality;
+pub mod scratch;
 pub mod spreading;
 
 pub use agc::{AgcModel, SignalLevel};
 pub use interference::{InterferenceKind, Interferer};
 pub use link::{LinkModel, PacketOutcome, RxMetrics};
 pub use materials::Material;
+pub use scratch::{ChannelCache, RxScratch};
 
 /// Data rate of the WaveLAN air interface, bits per second.
 pub const DATA_RATE_BPS: u64 = 2_000_000;

@@ -25,6 +25,7 @@ use crate::interference::Emission;
 use crate::math::{db_to_linear, mw_to_dbm};
 use crate::modulation::dqpsk_ber;
 use crate::quality::QualityModel;
+use crate::scratch::{ChannelCache, RxScratch};
 use rand::Rng;
 
 /// Bandwidth-to-bit-rate gain: the 11 MHz chip bandwidth versus the 2 Mb/s
@@ -145,20 +146,45 @@ impl Default for LinkModel {
 }
 
 /// One homogeneous stretch of the packet: constant interference power.
-#[derive(Debug, Clone, Copy)]
-struct Segment {
-    start_bit: u64,
-    end_bit: u64,
+///
+/// Public so the timeline builder can be benchmarked in isolation
+/// (`benches/receive_hotpath.rs`) and reused by [`RxScratch`]'s timeline
+/// cache; not part of the modelling API.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// First bit index covered.
+    pub start_bit: u64,
+    /// One past the last bit index covered.
+    pub end_bit: u64,
     /// Total AGC-visible interference power, mW.
-    agc_mw: f64,
+    pub agc_mw: f64,
     /// Total despread-effective interference power, mW.
-    despread_mw: f64,
+    pub despread_mw: f64,
 }
 
 /// Splits `[0, len)` at every emission boundary and accumulates per-segment
 /// interference power in both domains.
-fn segment_timeline(emissions: &[Emission], len_bits: u64) -> Vec<Segment> {
-    let mut cuts: Vec<u64> = vec![0, len_bits];
+pub fn segment_timeline(emissions: &[Emission], len_bits: u64) -> Vec<Segment> {
+    let mut cuts = Vec::new();
+    let mut segments = Vec::new();
+    segment_timeline_into(emissions, len_bits, &mut cuts, &mut segments, db_to_linear);
+    segments
+}
+
+/// The allocation-free core of [`segment_timeline`]: builds into caller
+/// buffers (cleared first) and converts powers through `db_to_lin`, which
+/// is either the direct [`db_to_linear`] or [`ChannelCache::db_to_linear`]
+/// — both return the identical `f64`, so the two paths are bit-equal.
+pub(crate) fn segment_timeline_into(
+    emissions: &[Emission],
+    len_bits: u64,
+    cuts: &mut Vec<u64>,
+    segments: &mut Vec<Segment>,
+    mut db_to_lin: impl FnMut(f64) -> f64,
+) {
+    cuts.clear();
+    cuts.push(0);
+    cuts.push(len_bits);
     for e in emissions {
         if e.start_bit < len_bits {
             cuts.push(e.start_bit);
@@ -169,7 +195,7 @@ fn segment_timeline(emissions: &[Emission], len_bits: u64) -> Vec<Segment> {
     }
     cuts.sort_unstable();
     cuts.dedup();
-    let mut segments = Vec::with_capacity(cuts.len());
+    segments.clear();
     for w in cuts.windows(2) {
         let (s, e) = (w[0], w[1]);
         if s == e {
@@ -179,8 +205,8 @@ fn segment_timeline(emissions: &[Emission], len_bits: u64) -> Vec<Segment> {
         let mut despread_mw = 0.0;
         for em in emissions {
             if em.start_bit < e && em.end_bit > s {
-                agc_mw += db_to_linear(em.agc_dbm());
-                despread_mw += db_to_linear(em.despread_dbm());
+                agc_mw += db_to_lin(em.agc_dbm());
+                despread_mw += db_to_lin(em.despread_dbm());
             }
         }
         segments.push(Segment {
@@ -190,7 +216,63 @@ fn segment_timeline(emissions: &[Emission], len_bits: u64) -> Vec<Segment> {
             despread_mw,
         });
     }
-    segments
+}
+
+/// The math provider for the reception pipeline: direct computation
+/// ([`DirectMath`], the reference path) or the exact-value memo
+/// ([`ChannelCache`], the hot path). Both implementations return identical
+/// `f64` bits for identical inputs, which is what keeps the two `receive`
+/// variants on the same RNG stream.
+pub(crate) trait RxMath {
+    /// [`db_to_linear`], possibly memoized.
+    fn db_to_linear(&mut self, db: f64) -> f64;
+    /// [`mw_to_dbm`], possibly memoized.
+    fn mw_to_dbm(&mut self, mw: f64) -> f64;
+    /// `dqpsk_ber(db_to_linear(ebn0_db))`, possibly memoized.
+    fn dqpsk_ber_from_db(&mut self, ebn0_db: f64) -> f64;
+    /// `e^(−x)`, possibly memoized.
+    fn exp_neg(&mut self, x: f64) -> f64;
+}
+
+/// The uncached math provider: every call computes directly.
+pub(crate) struct DirectMath;
+
+impl RxMath for DirectMath {
+    #[inline]
+    fn db_to_linear(&mut self, db: f64) -> f64 {
+        db_to_linear(db)
+    }
+    #[inline]
+    fn mw_to_dbm(&mut self, mw: f64) -> f64 {
+        mw_to_dbm(mw)
+    }
+    #[inline]
+    fn dqpsk_ber_from_db(&mut self, ebn0_db: f64) -> f64 {
+        dqpsk_ber(db_to_linear(ebn0_db))
+    }
+    #[inline]
+    fn exp_neg(&mut self, x: f64) -> f64 {
+        (-x).exp()
+    }
+}
+
+impl RxMath for ChannelCache {
+    #[inline]
+    fn db_to_linear(&mut self, db: f64) -> f64 {
+        ChannelCache::db_to_linear(self, db)
+    }
+    #[inline]
+    fn mw_to_dbm(&mut self, mw: f64) -> f64 {
+        ChannelCache::mw_to_dbm(self, mw)
+    }
+    #[inline]
+    fn dqpsk_ber_from_db(&mut self, ebn0_db: f64) -> f64 {
+        ChannelCache::dqpsk_ber_from_db(self, ebn0_db)
+    }
+    #[inline]
+    fn exp_neg(&mut self, x: f64) -> f64 {
+        ChannelCache::exp_neg(self, x)
+    }
 }
 
 /// Samples `Binomial(n, p)` cheaply: exact Knuth-style Poisson inversion for
@@ -198,6 +280,19 @@ fn segment_timeline(emissions: &[Emission], len_bits: u64) -> Vec<Segment> {
 /// ever consume aggregate error counts, so tail-exactness beyond a few σ is
 /// irrelevant.
 pub fn sample_bit_errors<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    sample_bit_errors_with(n, p, rng, &mut DirectMath)
+}
+
+/// [`sample_bit_errors`] with the Poisson threshold `e^(−mean)` routed
+/// through the math provider (memoizable: periodic interference schedules
+/// repeat segment lengths, hence means). Draws the same RNG sequence as the
+/// direct form for the same inputs.
+fn sample_bit_errors_with<R: Rng + ?Sized, M: RxMath>(
+    n: u64,
+    p: f64,
+    rng: &mut R,
+    math: &mut M,
+) -> u64 {
     if p <= 0.0 || n == 0 {
         return 0;
     }
@@ -208,7 +303,7 @@ pub fn sample_bit_errors<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
     if mean < 30.0 {
         // Poisson approximation to the binomial (p is tiny whenever we are
         // in this branch in practice; clamp to n regardless).
-        let l = (-mean).exp();
+        let l = math.exp_neg(mean);
         let mut k = 0u64;
         let mut prod = 1.0;
         loop {
@@ -225,6 +320,41 @@ pub fn sample_bit_errors<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
     }
 }
 
+/// Appends exactly `count` *distinct* bit positions drawn uniformly from
+/// `[start, end)` to `out`, retrying on collision so the appended count
+/// always equals the sampled error count (`count` must not exceed the range
+/// size, which [`sample_bit_errors`] guarantees by clamping to the segment
+/// length).
+///
+/// This replaces the old draw-then-`dedup` scheme, which silently dropped
+/// colliding draws and so *undercounted* the bit errors that
+/// [`sample_bit_errors`] had decided on. Retrying consumes extra RNG draws
+/// only when a collision actually occurs, so RNG streams shift only for the
+/// (rare) packets that previously undercounted.
+pub fn sample_distinct_positions<R: Rng + ?Sized>(
+    count: u64,
+    start: u64,
+    end: u64,
+    rng: &mut R,
+    out: &mut Vec<u64>,
+) {
+    debug_assert!(
+        count <= end - start,
+        "cannot draw {count} distinct from [{start}, {end})"
+    );
+    for _ in 0..count {
+        let pos = loop {
+            let p = rng.gen_range(start..end);
+            // Positions from other segments lie outside [start, end), so
+            // scanning the whole list only ever rejects genuine collisions.
+            if !out.contains(&p) {
+                break p;
+            }
+        };
+        out.push(pos);
+    }
+}
+
 impl LinkModel {
     /// Processes one packet arrival. `signal_dbm` is the slow-scale received
     /// power of the desired transmitter (path loss, obstacles, shadowing and
@@ -238,8 +368,57 @@ impl LinkModel {
         len_bits: u64,
         rng: &mut R,
     ) -> PacketOutcome {
-        let thermal_mw = db_to_linear(self.thermal_dbm);
         let segments = segment_timeline(emissions, len_bits);
+        let (outcome, _) = self.receive_inner(
+            signal_dbm,
+            len_bits,
+            rng,
+            &mut DirectMath,
+            &segments,
+            Vec::new(),
+        );
+        outcome
+    }
+
+    /// [`LinkModel::receive`] through a reusable workspace: the allocation-
+    /// free, memoized hot path. Draws the identical RNG sequence and
+    /// produces the identical outcome as `receive` (the caches memoize
+    /// *exact* values; see [`crate::scratch`]), so callers may switch
+    /// freely — `receive` is kept as the uncached reference and baseline.
+    ///
+    /// In steady state (warm scratch, recycled error buffers) this performs
+    /// zero heap allocations per packet; see `tests/zero_alloc.rs`.
+    pub fn receive_with<R: Rng + ?Sized>(
+        &self,
+        signal_dbm: f64,
+        emissions: &[Emission],
+        len_bits: u64,
+        rng: &mut R,
+        scratch: &mut RxScratch,
+    ) -> PacketOutcome {
+        scratch.segments_for(emissions, len_bits);
+        let error_buf = scratch.take_error_buf();
+        let (cache, segments) = scratch.cache_and_segments();
+        let (outcome, leftover) =
+            self.receive_inner(signal_dbm, len_bits, rng, cache, segments, error_buf);
+        if let Some(buf) = leftover {
+            scratch.recycle_error_buf(buf);
+        }
+        outcome
+    }
+
+    /// The shared pipeline. Returns the outcome plus, for lost packets, the
+    /// unused error buffer so the caller can recycle it.
+    fn receive_inner<R: Rng + ?Sized, M: RxMath>(
+        &self,
+        signal_dbm: f64,
+        len_bits: u64,
+        rng: &mut R,
+        math: &mut M,
+        segments: &[Segment],
+        mut error_bits: Vec<u64>,
+    ) -> (PacketOutcome, Option<Vec<u64>>) {
+        let thermal_mw = math.db_to_linear(self.thermal_dbm);
 
         // Per-packet diversity fade: affects decoding but not the reported
         // level (the AGC averages the preamble; slow power is what it sees).
@@ -249,39 +428,45 @@ impl LinkModel {
         // --- Reported signal level: AGC at packet start (signal + all
         // AGC-visible interference + thermal).
         let start_agc_mw = segments.first().map_or(0.0, |s| s.agc_mw);
-        let level_power_dbm = mw_to_dbm(db_to_linear(signal_dbm) + start_agc_mw + thermal_mw);
+        let signal_mw = math.db_to_linear(signal_dbm);
+        let level_power_dbm = math.mw_to_dbm(signal_mw + start_agc_mw + thermal_mw);
         let level = self.agc.report_level(level_power_dbm, rng);
 
         // --- Reported silence level: AGC just after packet end; the desired
         // signal has stopped, interference state sampled at the last bit.
         let end_agc_mw = segments.last().map_or(0.0, |s| s.agc_mw);
-        let silence_power_dbm = mw_to_dbm(end_agc_mw + thermal_mw);
+        let silence_power_dbm = math.mw_to_dbm(end_agc_mw + thermal_mw);
         let silence = self.agc.report_level(silence_power_dbm, rng);
 
         // --- Host loss floor (checked first: independent of radio state).
         if rng.gen::<f64>() < self.host_loss_probability {
-            return PacketOutcome::Lost(LossCause::HostOverrun);
+            return (
+                PacketOutcome::Lost(LossCause::HostOverrun),
+                Some(error_bits),
+            );
         }
 
         // --- Preamble acquisition: AGC slowness (absolute faded power) plus
         // correlation failure (despread-domain SINR at the packet start).
         let start_despread_mw = segments.first().map_or(0.0, |s| s.despread_mw);
         let preamble_despread_sinr_db =
-            faded_signal_dbm - mw_to_dbm(thermal_mw + start_despread_mw);
+            faded_signal_dbm - math.mw_to_dbm(thermal_mw + start_despread_mw);
         let p_miss = self
             .agc
             .miss_probability(faded_signal_dbm, preamble_despread_sinr_db);
         if rng.gen::<f64>() < p_miss {
-            return PacketOutcome::Lost(LossCause::PreambleMiss);
+            return (
+                PacketOutcome::Lost(LossCause::PreambleMiss),
+                Some(error_bits),
+            );
         }
 
         // --- Walk the segments: look for unlock (truncation) and draw bit
         // errors from the despread-domain SINR.
         let mut truncated_at: Option<u64> = None;
-        let mut error_bits: Vec<u64> = Vec::new();
         let mut min_early_despread_sinr = f64::INFINITY;
-        for seg in &segments {
-            let despread_sinr = faded_signal_dbm - mw_to_dbm(thermal_mw + seg.despread_mw);
+        for seg in segments {
+            let despread_sinr = faded_signal_dbm - math.mw_to_dbm(thermal_mw + seg.despread_mw);
             // Quality window: the sampled-early-in-the-packet region.
             if seg.start_bit < QUALITY_WINDOW_BITS.min(len_bits / 2) {
                 min_early_despread_sinr = min_early_despread_sinr.min(despread_sinr);
@@ -293,9 +478,9 @@ impl LinkModel {
                 break;
             }
             let ebn0_db = despread_sinr + BANDWIDTH_GAIN_DB;
-            let ber = dqpsk_ber(db_to_linear(ebn0_db));
+            let ber = math.dqpsk_ber_from_db(ebn0_db);
             let bits = seg.end_bit - seg.start_bit;
-            let n_err = sample_bit_errors(bits, ber, rng);
+            let n_err = sample_bit_errors_with(bits, ber, rng, math);
             for _ in 0..n_err {
                 error_bits.push(rng.gen_range(seg.start_bit..seg.end_bit));
             }
@@ -327,16 +512,19 @@ impl LinkModel {
         }
         let quality = self.quality.report(min_early_despread_sinr, rng);
 
-        PacketOutcome::Received(Reception {
-            truncated_at_bit: truncated_at,
-            error_bits,
-            metrics: RxMetrics {
-                level,
-                silence,
-                quality,
-                antenna: antenna.id(),
-            },
-        })
+        (
+            PacketOutcome::Received(Reception {
+                truncated_at_bit: truncated_at,
+                error_bits,
+                metrics: RxMetrics {
+                    level,
+                    silence,
+                    quality,
+                    antenna: antenna.id(),
+                },
+            }),
+            None,
+        )
     }
 }
 

@@ -45,6 +45,6 @@ pub use floorplan::{FloorPlan, Wall};
 pub use geometry::{Point, Segment};
 pub use medium::{AmbientSource, Emitter};
 pub use propagation::Propagation;
-pub use runner::{Scenario, ScenarioBuilder, TrialResult};
+pub use runner::{Scenario, ScenarioBuilder, SimScratch, TrialResult};
 pub use station::{Station, StationConfig, StationId};
 pub use trace::{Trace, TraceRecord};

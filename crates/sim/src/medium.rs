@@ -198,6 +198,35 @@ impl Medium {
         station_pos: &[Point],
     ) -> Vec<Emission> {
         let mut out = Vec::new();
+        self.wavelan_emissions_into(
+            packet_id,
+            start_ns,
+            end_ns,
+            rx_pos,
+            rx_station,
+            prop,
+            plan,
+            station_pos,
+            &mut out,
+        );
+        out
+    }
+
+    /// [`Medium::wavelan_emissions`], appending into a caller-owned buffer
+    /// so the per-packet hot path can reuse its allocation.
+    #[allow(clippy::too_many_arguments)] // a reception is genuinely this wide
+    pub fn wavelan_emissions_into(
+        &self,
+        packet_id: usize,
+        start_ns: u64,
+        end_ns: u64,
+        rx_pos: Point,
+        rx_station: usize,
+        prop: &Propagation,
+        plan: &FloorPlan,
+        station_pos: &[Point],
+        out: &mut Vec<Emission>,
+    ) {
         for (_, t) in self.overlapping(start_ns, end_ns, packet_id) {
             if t.src == rx_station {
                 continue; // own transmissions are handled as half-duplex
@@ -212,7 +241,6 @@ impl Medium {
                 });
             }
         }
-        out
     }
 }
 

@@ -15,7 +15,9 @@ use wavelan_mac::network_id::wrap_with_network_id;
 use wavelan_net::testpkt::TestPacket;
 use wavelan_phy::agc::power_to_level_units;
 use wavelan_phy::baseband::gaussian;
+use wavelan_phy::interference::Emission;
 use wavelan_phy::link::{LinkModel, PacketOutcome};
+use wavelan_phy::scratch::RxScratch;
 
 /// Default for [`Scenario::capture_margin_db`]: how much stronger (dB) a
 /// later-arriving packet must be to capture the receiver away from the
@@ -109,6 +111,31 @@ impl ScenarioBuilder {
     }
 }
 
+/// Reusable per-worker simulation workspace: the phy-layer [`RxScratch`]
+/// plus the emission assembly buffer, so steady-state packet resolution
+/// performs zero heap allocations.
+///
+/// Ownership rules: one `SimScratch` per worker thread (see
+/// `wavelan_core::executor::Executor::map_with`). Reusing one scratch across
+/// trials and seeds is always safe — it carries no trial-observable state,
+/// so results stay bit-identical to scratch-free runs.
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    /// Phy-layer reception workspace (segment timeline, math memos,
+    /// error-bit buffer pool).
+    pub rx: RxScratch,
+    /// Emission assembly buffer reused across packet resolutions.
+    emissions: Vec<Emission>,
+}
+
+impl SimScratch {
+    /// A fresh workspace; buffers grow to steady-state capacity over the
+    /// first few packets.
+    pub fn new() -> SimScratch {
+        SimScratch::default()
+    }
+}
+
 /// Results of one trial.
 #[derive(Debug)]
 pub struct TrialResult {
@@ -151,6 +178,8 @@ struct Runner<'s> {
     primary: usize,
     /// TxEnd events resolved for the primary station.
     primary_completed: u64,
+    /// Reusable buffers (caller-owned so they survive across trials).
+    scratch: &'s mut SimScratch,
 }
 
 impl Scenario {
@@ -161,14 +190,42 @@ impl Scenario {
         self.run_with_limit(primary, n_packets, 3_600_000_000_000)
     }
 
+    /// [`Scenario::run`] with a caller-owned [`SimScratch`], so buffers and
+    /// memo caches persist across trials. Bit-identical to `run`.
+    pub fn run_in(
+        &self,
+        primary: StationId,
+        n_packets: u64,
+        scratch: &mut SimScratch,
+    ) -> TrialResult {
+        self.run_with_limit_in(primary, n_packets, 3_600_000_000_000, scratch)
+    }
+
     /// Runs for a fixed amount of virtual time regardless of progress.
     pub fn run_for(&self, duration_ns: u64) -> TrialResult {
         self.run_with_limit(usize::MAX, u64::MAX, duration_ns)
     }
 
+    /// [`Scenario::run_for`] with a caller-owned [`SimScratch`].
+    pub fn run_for_in(&self, duration_ns: u64, scratch: &mut SimScratch) -> TrialResult {
+        self.run_with_limit_in(usize::MAX, u64::MAX, duration_ns, scratch)
+    }
+
     /// The general form: stop when `primary` completes `n_packets`
     /// transmissions or virtual time passes `limit_ns`.
     pub fn run_with_limit(&self, primary: StationId, n_packets: u64, limit_ns: u64) -> TrialResult {
+        let mut scratch = SimScratch::new();
+        self.run_with_limit_in(primary, n_packets, limit_ns, &mut scratch)
+    }
+
+    /// [`Scenario::run_with_limit`] with a caller-owned [`SimScratch`].
+    pub fn run_with_limit_in(
+        &self,
+        primary: StationId,
+        n_packets: u64,
+        limit_ns: u64,
+        scratch: &mut SimScratch,
+    ) -> TrialResult {
         let mut runner = Runner {
             scenario: self,
             stations: self.stations.iter().cloned().map(Station::new).collect(),
@@ -178,6 +235,7 @@ impl Scenario {
             positions: self.stations.iter().map(|s| s.pos).collect(),
             primary,
             primary_completed: 0,
+            scratch,
         };
         // Kick off traffic with small per-station offsets to break symmetry.
         for (i, s) in runner.stations.iter().enumerate() {
@@ -461,8 +519,10 @@ impl Runner<'_> {
         let len_bits = tx.len_bits();
         let capture_at_ns = capture_cut_ns;
 
-        // Interference: other WaveLAN transmissions plus ambient sources.
-        let mut emissions = self.medium.wavelan_emissions(
+        // Interference: other WaveLAN transmissions plus ambient sources,
+        // assembled into the reusable scratch buffer.
+        self.scratch.emissions.clear();
+        self.medium.wavelan_emissions_into(
             tx_id,
             tx.start_ns,
             tx.end_ns,
@@ -471,6 +531,7 @@ impl Runner<'_> {
             prop,
             plan,
             &self.positions,
+            &mut self.scratch.emissions,
         );
         for (i, src) in self.scenario.ambient.iter().enumerate() {
             let interferer = src.interferer_at(rx_pos, prop, plan);
@@ -481,17 +542,21 @@ impl Runner<'_> {
                 .seed
                 .wrapping_mul(0x9E37_79B9)
                 .wrapping_add(i as u64 * 7919);
-            emissions.extend(interferer.emissions_at(
+            interferer.emissions_at_into(
                 crate::medium::ns_to_bits(tx.start_ns).wrapping_add(offset),
                 len_bits,
                 &mut self.rng,
-            ));
+                &mut self.scratch.emissions,
+            );
         }
 
-        let outcome = self
-            .scenario
-            .link
-            .receive(signal_dbm, &emissions, len_bits, &mut self.rng);
+        let outcome = self.scenario.link.receive_with(
+            signal_dbm,
+            &self.scratch.emissions,
+            len_bits,
+            &mut self.rng,
+            &mut self.scratch.rx,
+        );
         let mut reception = match outcome {
             PacketOutcome::Lost(_) => {
                 self.stations[r].rx_lost += 1;
@@ -504,6 +569,9 @@ impl Runner<'_> {
         // threshold was already enforced at acquisition).
         if reception.metrics.quality < station.config.thresholds.quality {
             station.packets_filtered += 1;
+            self.scratch
+                .rx
+                .recycle_error_buf(std::mem::take(&mut reception.error_bits));
             return;
         }
         // Apply the capture cut-off: the receiver abandoned this packet when
@@ -544,6 +612,11 @@ impl Runner<'_> {
                 }),
             });
         }
+        // Return the error-position buffer to the pool: the trace keeps only
+        // derived data, so the Vec's capacity can serve the next packet.
+        self.scratch
+            .rx
+            .recycle_error_buf(std::mem::take(&mut reception.error_bits));
     }
 }
 
