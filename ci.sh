@@ -4,5 +4,7 @@
 set -eux
 
 cargo build --release
+cargo clippy --workspace -- -D warnings
 cargo test -q
-cargo run --release -p wavelan-bench --bin repro -- --scale smoke
+cargo bench --workspace --no-run
+cargo run --release -p wavelan-bench --bin repro -- --scale smoke --timing-json BENCH_PR2.json

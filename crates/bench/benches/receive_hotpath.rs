@@ -1,0 +1,108 @@
+//! Reception hot-path benchmarks: the allocating reference pipeline
+//! (`LinkModel::receive`) against the scratch-backed hot path
+//! (`LinkModel::receive_with`), over the channel mixes the experiments
+//! actually run, plus the segment-timeline construction in isolation.
+//!
+//! Every interference case uses a *stationary* emission set (the same
+//! timeline every packet), which is what the experiment trials produce for
+//! fixed interferer placements — and exactly the case the one-entry
+//! timeline cache in `RxScratch` is built for. The acceptance bar for this
+//! PR is ≥2× packets/sec on the stationary-interference case.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wavelan_phy::interference::{Emission, InterferenceKind};
+use wavelan_phy::link::{segment_timeline, LinkModel, PacketOutcome};
+use wavelan_phy::RxScratch;
+
+/// 1,070-byte test packet, as everywhere else in the reproduction.
+const LEN: u64 = 8_560;
+
+/// A stationary SS-phone-style jam: wideband in-band bursts every 1,400
+/// bits, clear of the preamble so packets mostly survive with bit errors —
+/// the heaviest segment walk the experiments produce.
+fn ss_phone_jam() -> Vec<Emission> {
+    let mut em = Vec::new();
+    let mut start = 400u64;
+    while start < LEN {
+        em.push(Emission {
+            start_bit: start,
+            end_bit: (start + 700).min(LEN),
+            raw_dbm: -72.0,
+            kind: InterferenceKind::WidebandInBand,
+        });
+        start += 1_400;
+    }
+    em
+}
+
+/// A narrowband FM carrier parked on the band for the whole packet.
+fn narrowband() -> Vec<Emission> {
+    vec![Emission {
+        start_bit: 0,
+        end_bit: LEN,
+        raw_dbm: -35.0,
+        kind: InterferenceKind::NarrowbandInBand,
+    }]
+}
+
+/// One hot-path reception, recycling the error buffer so the steady state
+/// stays allocation-free (the same contract the sim runner follows).
+fn receive_hot(
+    model: &LinkModel,
+    signal_dbm: f64,
+    em: &[Emission],
+    rng: &mut StdRng,
+    scratch: &mut RxScratch,
+) -> PacketOutcome {
+    let mut outcome = model.receive_with(signal_dbm, em, LEN, rng, scratch);
+    if let PacketOutcome::Received(ref mut r) = outcome {
+        scratch.recycle_error_buf(std::mem::take(&mut r.error_bits));
+    }
+    outcome
+}
+
+fn receive_cases(c: &mut Criterion) {
+    let model = LinkModel::default();
+    let cases: [(&str, f64, Vec<Emission>); 3] = [
+        ("clean", -48.0, Vec::new()),
+        ("narrowband", -48.0, narrowband()),
+        ("ss_phone_jam", -62.0, ss_phone_jam()),
+    ];
+    for (name, signal_dbm, em) in &cases {
+        let mut g = c.benchmark_group(&format!("receive_hotpath/{name}"));
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("uncached", |b| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| model.receive(*signal_dbm, std::hint::black_box(em), LEN, &mut rng))
+        });
+        g.bench_function("scratch", |b| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut scratch = RxScratch::new();
+            b.iter(|| {
+                receive_hot(
+                    &model,
+                    *signal_dbm,
+                    std::hint::black_box(em),
+                    &mut rng,
+                    &mut scratch,
+                )
+            })
+        });
+        g.finish();
+    }
+}
+
+fn timeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("segment_timeline");
+    let em = ss_phone_jam();
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("ss_phone_jam", |b| {
+        b.iter(|| segment_timeline(std::hint::black_box(&em), LEN))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, receive_cases, timeline);
+criterion_main!(benches);

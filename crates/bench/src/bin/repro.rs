@@ -1,7 +1,8 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro [--scale smoke|reduced|paper] [--seed N] [--jobs N] [artifact ...]
+//! repro [--scale smoke|reduced|paper] [--seed N] [--jobs N]
+//!       [--timing-json PATH] [artifact ...]
 //! ```
 //!
 //! With no artifact arguments, everything is regenerated in paper order.
@@ -14,16 +15,66 @@
 //! `(experiment id, trial index, base seed)` and results merge in
 //! declaration order, so stdout is bit-identical at any worker count —
 //! only the wall-clock report on stderr changes.
+//!
+//! `--timing-json PATH` additionally writes the per-artifact wall-clock
+//! numbers (the same data as the stderr lines) as a JSON document, for
+//! machine consumption by CI perf tracking.
 
 use std::time::Instant;
 use wavelan_bench::{run_artifact, ARTIFACTS};
 use wavelan_core::{Executor, Scale};
+
+/// One timed artifact, for the `--timing-json` report.
+struct Timing {
+    artifact: String,
+    seconds: f64,
+    packets: u64,
+}
+
+/// Renders the timing report as JSON. Hand-rolled: artifact names are
+/// `[a-z0-9-]` so no escaping is needed, and the bench crate deliberately
+/// takes no serde dependency.
+fn timing_json(
+    scale: Scale,
+    seed: u64,
+    jobs: usize,
+    timings: &[Timing],
+    total_seconds: f64,
+    total_packets: u64,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"scale\": \"{scale:?}\",\n").to_lowercase());
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"jobs\": {jobs},\n"));
+    out.push_str("  \"artifacts\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        let comma = if i + 1 < timings.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"artifact\": \"{}\", \"seconds\": {:.6}, \"packets\": {}, \"pkt_per_sec\": {:.1}}}{comma}\n",
+            t.artifact,
+            t.seconds,
+            t.packets,
+            t.packets as f64 / t.seconds.max(1e-9)
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"total\": {{\"seconds\": {:.6}, \"packets\": {}, \"pkt_per_sec\": {:.1}}}\n",
+        total_seconds,
+        total_packets,
+        total_packets as f64 / total_seconds.max(1e-9)
+    ));
+    out.push_str("}\n");
+    out
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Reduced;
     let mut seed = 1996u64;
     let mut jobs = 0usize;
+    let mut timing_json_path: Option<String> = None;
     let mut artifacts: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -51,9 +102,16 @@ fn main() {
                     std::process::exit(2);
                 })
             }
+            "--timing-json" => {
+                timing_json_path = Some(it.next().cloned().unwrap_or_else(|| {
+                    eprintln!("--timing-json needs a path");
+                    std::process::exit(2);
+                }))
+            }
             "--help" | "-h" => {
                 println!(
-                    "repro [--scale smoke|reduced|paper] [--seed N] [--jobs N] [artifact ...]\n\
+                    "repro [--scale smoke|reduced|paper] [--seed N] [--jobs N] \
+                     [--timing-json PATH] [artifact ...]\n\
                      artifacts: {}",
                     ARTIFACTS.join(" ")
                 );
@@ -74,6 +132,7 @@ fn main() {
     let total_start = Instant::now();
     let mut total_packets = 0u64;
     let mut unknown = 0usize;
+    let mut timings: Vec<Timing> = Vec::new();
     for artifact in &artifacts {
         let start = Instant::now();
         let Some(run) = run_artifact(artifact, scale, seed, &exec) else {
@@ -92,6 +151,11 @@ fn main() {
             run.packets as f64 / elapsed.max(1e-9)
         );
         total_packets += run.packets;
+        timings.push(Timing {
+            artifact: artifact.clone(),
+            seconds: elapsed,
+            packets: run.packets,
+        });
     }
     let total = total_start.elapsed().as_secs_f64();
     eprintln!(
@@ -100,6 +164,14 @@ fn main() {
         total_packets,
         total_packets as f64 / total.max(1e-9)
     );
+    if let Some(path) = timing_json_path {
+        let json = timing_json(scale, seed, exec.jobs(), &timings, total, total_packets);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("[timing report written to {path}]");
+    }
     if unknown > 0 {
         std::process::exit(2);
     }

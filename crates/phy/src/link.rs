@@ -807,7 +807,10 @@ mod tests {
                 max_errs = max_errs.max(r.error_bits.len());
             }
         }
-        assert!(max_errs > 0, "operating point should produce errored packets");
+        assert!(
+            max_errs > 0,
+            "operating point should produce errored packets"
+        );
     }
 
     #[test]

@@ -1,3 +1,4 @@
+#![allow(clippy::all)]
 #![warn(missing_docs)]
 
 //! Offline stand-in for the `rand` crate (0.8 API surface).

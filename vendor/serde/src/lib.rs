@@ -1,3 +1,4 @@
+#![allow(clippy::all)]
 #![warn(missing_docs)]
 
 //! Offline stand-in for `serde`.

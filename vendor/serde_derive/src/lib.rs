@@ -1,3 +1,4 @@
+#![allow(clippy::all)]
 //! Offline stand-in for `serde_derive`.
 //!
 //! The workspace's serde derives are declarative only — persistence is
