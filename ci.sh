@@ -7,4 +7,16 @@ cargo build --release
 cargo clippy --workspace -- -D warnings
 cargo test -q
 cargo bench --workspace --no-run
+cargo run --release -p wavelan-bench --bin repro -- --list
 cargo run --release -p wavelan-bench --bin repro -- --scale smoke --timing-json BENCH_PR2.json
+cargo run --release -p wavelan-bench --bin repro -- --scale smoke --format json > REPRO_SMOKE.json
+# Validate the JSON outputs parse (the in-tree round-trip tests cover the
+# parser itself; jq is a belt-and-braces check where available).
+if command -v jq >/dev/null 2>&1; then
+    jq . REPRO_SMOKE.json > /dev/null
+    jq . BENCH_PR2.json > /dev/null
+else
+    # The golden test diffs the same document; a byte-identical match to the
+    # committed tests/golden/repro_smoke.json proves it parses.
+    cmp REPRO_SMOKE.json tests/golden/repro_smoke.json
+fi

@@ -1,0 +1,612 @@
+//! JSON backend for the workspace's serde traits: a pretty-printing
+//! [`Serializer`] plus a small [`Value`] parser for round-trip validation.
+//!
+//! The writer produces deterministic, human-diffable output (2-space
+//! indent, short compounds inlined) — the JSON golden transcript is diffed
+//! verbatim, exactly like the text golden. Non-finite floats have no JSON
+//! representation and serialize as `null`; the report model never produces
+//! them (the streaming stats return `0.0` on empty input), so the golden
+//! stays numeric.
+
+use serde::{Serialize, SerializeMap, SerializeSeq, SerializeStruct, Serializer};
+use std::convert::Infallible;
+
+/// Compounds whose single-line form fits within this many characters are
+/// inlined (`[1, 2, 3]`); longer or nested-multiline compounds break one
+/// element per line.
+const INLINE_LIMIT: usize = 100;
+
+/// Serializes `value` as pretty-printed JSON with a trailing newline.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> String {
+    let mut out = match value.serialize(Json { indent: 0 }) {
+        Ok(fragment) => fragment,
+        Err(e) => match e {},
+    };
+    out.push('\n');
+    out
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Joins rendered child fragments into a `[...]` or `{...}` compound,
+/// inlining when every fragment is single-line and the result is short.
+fn join(indent: usize, open: char, close: char, items: &[String]) -> String {
+    if items.is_empty() {
+        return format!("{open}{close}");
+    }
+    let inline_len = 2 + items.iter().map(|i| i.len() + 2).sum::<usize>();
+    if inline_len <= INLINE_LIMIT && items.iter().all(|i| !i.contains('\n')) {
+        return format!("{open}{}{close}", items.join(", "));
+    }
+    let pad = "  ".repeat(indent + 1);
+    let mut out = String::new();
+    out.push(open);
+    out.push('\n');
+    for (i, item) in items.iter().enumerate() {
+        out.push_str(&pad);
+        out.push_str(item);
+        if i + 1 < items.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str(&"  ".repeat(indent));
+    out.push(close);
+    out
+}
+
+/// The JSON [`Serializer`]. Each call renders a complete fragment whose
+/// continuation lines (if any) are indented for `indent` nesting levels.
+struct Json {
+    indent: usize,
+}
+
+/// In-progress JSON array.
+struct JsonSeq {
+    indent: usize,
+    items: Vec<String>,
+}
+
+/// In-progress JSON object (used for both maps and structs).
+struct JsonMap {
+    indent: usize,
+    entries: Vec<String>,
+}
+
+impl Serializer for Json {
+    type Ok = String;
+    type Error = Infallible;
+    type SerializeSeq = JsonSeq;
+    type SerializeMap = JsonMap;
+    type SerializeStruct = JsonMap;
+
+    fn serialize_bool(self, v: bool) -> Result<String, Infallible> {
+        Ok(if v { "true" } else { "false" }.to_string())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<String, Infallible> {
+        Ok(v.to_string())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<String, Infallible> {
+        Ok(v.to_string())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<String, Infallible> {
+        Ok(if v.is_finite() {
+            v.to_string()
+        } else {
+            "null".to_string()
+        })
+    }
+
+    fn serialize_str(self, v: &str) -> Result<String, Infallible> {
+        Ok(quote(v))
+    }
+
+    fn serialize_unit(self) -> Result<String, Infallible> {
+        Ok("null".to_string())
+    }
+
+    fn serialize_none(self) -> Result<String, Infallible> {
+        Ok("null".to_string())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<String, Infallible> {
+        value.serialize(self)
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<JsonSeq, Infallible> {
+        Ok(JsonSeq {
+            indent: self.indent,
+            items: Vec::new(),
+        })
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<JsonMap, Infallible> {
+        Ok(JsonMap {
+            indent: self.indent,
+            entries: Vec::new(),
+        })
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<JsonMap, Infallible> {
+        Ok(JsonMap {
+            indent: self.indent,
+            entries: Vec::new(),
+        })
+    }
+}
+
+impl SerializeSeq for JsonSeq {
+    type Ok = String;
+    type Error = Infallible;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Infallible> {
+        let fragment = match value.serialize(Json {
+            indent: self.indent + 1,
+        }) {
+            Ok(fragment) => fragment,
+            Err(e) => match e {},
+        };
+        self.items.push(fragment);
+        Ok(())
+    }
+
+    fn end(self) -> Result<String, Infallible> {
+        Ok(join(self.indent, '[', ']', &self.items))
+    }
+}
+
+impl JsonMap {
+    fn push_entry(&mut self, key: String, value: &impl Serialize) {
+        let fragment = match value.serialize(Json {
+            indent: self.indent + 1,
+        }) {
+            Ok(fragment) => fragment,
+            Err(e) => match e {},
+        };
+        self.entries.push(format!("{key}: {fragment}"));
+    }
+}
+
+impl SerializeMap for JsonMap {
+    type Ok = String;
+    type Error = Infallible;
+
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), Infallible> {
+        let key = match key.serialize(Json { indent: 0 }) {
+            Ok(fragment) => fragment,
+            Err(e) => match e {},
+        };
+        // JSON object keys must be strings; quote non-string keys wholesale.
+        let key = if key.starts_with('"') { key } else { quote(&key) };
+        self.push_entry(key, &value);
+        Ok(())
+    }
+
+    fn end(self) -> Result<String, Infallible> {
+        Ok(join(self.indent, '{', '}', &self.entries))
+    }
+}
+
+impl SerializeStruct for JsonMap {
+    type Ok = String;
+    type Error = Infallible;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Infallible> {
+        self.push_entry(quote(key), &value);
+        Ok(())
+    }
+
+    fn end(self) -> Result<String, Infallible> {
+        Ok(join(self.indent, '{', '}', &self.entries))
+    }
+}
+
+/// A parsed JSON value. Numbers keep their source lexeme so a parse →
+/// re-serialize round trip of this writer's own output is exact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, stored as its source lexeme.
+    Number(String),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in source order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Value::Null => serializer.serialize_unit(),
+            Value::Bool(b) => serializer.serialize_bool(*b),
+            Value::Number(lexeme) => {
+                if let Ok(v) = lexeme.parse::<u64>() {
+                    serializer.serialize_u64(v)
+                } else if let Ok(v) = lexeme.parse::<i64>() {
+                    serializer.serialize_i64(v)
+                } else {
+                    serializer.serialize_f64(lexeme.parse::<f64>().unwrap_or(f64::NAN))
+                }
+            }
+            Value::Str(s) => serializer.serialize_str(s),
+            Value::Array(items) => {
+                let mut seq = serializer.serialize_seq(Some(items.len()))?;
+                for item in items {
+                    seq.serialize_element(item)?;
+                }
+                seq.end()
+            }
+            Value::Object(entries) => {
+                let mut map = serializer.serialize_map(Some(entries.len()))?;
+                for (k, v) in entries {
+                    map.serialize_entry(k.as_str(), v)?;
+                }
+                map.end()
+            }
+        }
+    }
+}
+
+/// A JSON parse failure: byte offset plus a static description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: &'static str,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+/// Parses a JSON document into a [`Value`].
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing data after document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &'static str) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, byte: u8, message: &'static str) -> Result<(), ParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(message))
+        }
+    }
+
+    fn literal(&mut self, text: &str, message: &'static str) -> Result<(), ParseError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(())
+        } else {
+            Err(self.error(message))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'n') => {
+                self.literal("null", "expected null")?;
+                Ok(Value::Null)
+            }
+            Some(b't') => {
+                self.literal("true", "expected true")?;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.literal("false", "expected false")?;
+                Ok(Value::Bool(false))
+            }
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.eat(b'[', "expected [")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected , or ] in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.eat(b'{', "expected {")?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected : after object key")?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.error("expected , or } in object")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16, ParseError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.error("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.error("non-ASCII \\u escape"))?;
+        let v = u16::from_str_radix(hex, 16).map_err(|_| self.error("bad \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.eat(b'"', "expected string")?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Copy the longest escape-free, quote-free run in one slice.
+            while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\') {
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.error("invalid UTF-8 in string"))?;
+                out.push_str(run);
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                self.literal("\\u", "expected low surrogate")?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.error("bad low surrogate"));
+                                }
+                                let code = 0x10000
+                                    + ((u32::from(hi) - 0xD800) << 10)
+                                    + (u32::from(lo) - 0xDC00);
+                                char::from_u32(code).ok_or_else(|| self.error("bad surrogate pair"))?
+                            } else {
+                                char::from_u32(u32::from(hi))
+                                    .ok_or_else(|| self.error("bad \\u escape"))?
+                            };
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(self.error("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                None => return Err(self.error("unterminated string")),
+                Some(_) => unreachable!("loop above stops only at quote or backslash"),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let lexeme = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number lexemes are ASCII");
+        if lexeme.is_empty() || lexeme == "-" || lexeme.parse::<f64>().is_err() {
+            return Err(self.error("bad number"));
+        }
+        Ok(Value::Number(lexeme.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_escapes() {
+        assert_eq!(to_string_pretty(&true), "true\n");
+        assert_eq!(to_string_pretty(&42u64), "42\n");
+        assert_eq!(to_string_pretty(&-7i32), "-7\n");
+        assert_eq!(to_string_pretty(&1.5f64), "1.5\n");
+        assert_eq!(to_string_pretty(&f64::NAN), "null\n");
+        assert_eq!(to_string_pretty("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"\n");
+        assert_eq!(to_string_pretty(&Option::<u64>::None), "null\n");
+        assert_eq!(to_string_pretty(&Some(3u64)), "3\n");
+    }
+
+    #[test]
+    fn short_compounds_inline_long_ones_break() {
+        assert_eq!(to_string_pretty(&vec![1u64, 2, 3]), "[1, 2, 3]\n");
+        let long: Vec<u64> = (0..40).collect();
+        let text = to_string_pretty(&long);
+        assert!(text.starts_with("[\n  0,\n  1,\n"));
+        assert!(text.ends_with("\n  39\n]\n"));
+        assert_eq!(to_string_pretty(&Vec::<u64>::new()), "[]\n");
+    }
+
+    #[test]
+    fn nested_indentation() {
+        let nested = vec![(0..40).collect::<Vec<u64>>()];
+        let text = to_string_pretty(&nested);
+        assert!(text.starts_with("[\n  [\n    0,\n"));
+        assert!(text.ends_with("    39\n  ]\n]\n"));
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let doc = "{\n  \"name\": \"x\\n\",\n  \"vals\": [1, -2.5, 1e3, null, true],\n  \"sub\": {}\n}\n";
+        let value = parse(doc).expect("parses");
+        assert_eq!(
+            value.get("name"),
+            Some(&Value::Str("x\n".to_string()))
+        );
+        // Printing canonicalizes lexemes like `1e3`; after one print the
+        // parse → print cycle is a fixed point.
+        let reprinted = to_string_pretty(&value);
+        let reparsed = parse(&reprinted).expect("round trip parses");
+        assert_eq!(to_string_pretty(&reparsed), reprinted);
+    }
+
+    #[test]
+    fn writer_output_reparses_exactly() {
+        let value = parse("[{\"a\": 1.25, \"b\": [true, false]}, \"s\"]").expect("parses");
+        let printed = to_string_pretty(&value);
+        assert_eq!(to_string_pretty(&parse(&printed).expect("parses")), printed);
+    }
+
+    #[test]
+    fn surrogate_pairs_and_controls() {
+        assert_eq!(
+            parse("\"\\ud83d\\ude00\\u0007\""),
+            Ok(Value::Str("\u{1F600}\u{7}".to_string()))
+        );
+        assert_eq!(to_string_pretty("\u{7}"), "\"\\u0007\"\n");
+    }
+
+    #[test]
+    fn parse_errors_carry_offsets() {
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+        assert!(parse("12 34").is_err());
+        assert!(parse("\"open").is_err());
+    }
+}

@@ -27,7 +27,9 @@
 //! * [`stats`] — streaming min / mean / σ / max, the paper's `↓ μ (σ) ↑`
 //!   columns,
 //! * [`summary`] — per-trial aggregation into the paper's Table 1 column set,
-//! * [`report`] — plain-text renderings that mirror the paper's tables,
+//! * [`report`] — the structured report model (typed tables, notes) plus the
+//!   one generic plain-text renderer that mirrors the paper's tables,
+//! * [`json`] — serde-based JSON writer and round-trip parser for reports,
 //! * [`bursts`] — error-burst statistics and Gilbert–Elliott fitting over
 //!   measured syndromes (feeds interleaver-depth choices in `wavelan-fec`),
 //! * [`lossruns`] — temporal structure of packet loss from recovered
@@ -38,6 +40,7 @@
 
 pub mod bursts;
 pub mod classify;
+pub mod json;
 pub mod lossruns;
 pub mod matcher;
 pub mod report;
@@ -48,6 +51,7 @@ pub use bursts::{burst_report, BurstReport};
 pub use classify::{AnalyzedPacket, PacketClass, TraceAnalysis};
 pub use lossruns::{loss_runs, LossRunReport};
 pub use matcher::ExpectedSeries;
+pub use report::{render_blocks, Align, Block, Cell, Column, Report, StatsCell, Table};
 pub use stats::SignalStats;
 pub use summary::TrialSummary;
 

@@ -1,15 +1,459 @@
-//! Plain-text table rendering in the paper's style.
+//! Structured reports and the one generic plain-text renderer.
 //!
-//! Two table shapes cover all thirteen of the paper's tables:
+//! Every artifact the reproduction emits — the paper's thirteen tables,
+//! three figures, and the extension studies — is built as a [`Report`]: a
+//! value model of typed blocks ([`Table`] with a column schema and typed
+//! [`Cell`]s, free-form [`Note`](Block::Note) prose, [`Blank`](Block::Blank)
+//! separators). Text output is then *one* renderer walking that model
+//! ([`render_blocks`]), and machine output is the same model serialized
+//! through [`crate::json`].
+//!
+//! Two recurring table shapes get builder helpers:
 //!
 //! * the *results* table (Tables 2, 5, 8, 11): one row per trial with the
-//!   Table 1 column set — rendered by [`render_results_table`];
+//!   Table 1 column set — [`results_table`];
 //! * the *signal metrics* table (Tables 3, 4, 6, 7, 9, 10, 12, 13, 14): one
 //!   row per trial or packet class with `↓ μ (σ) ↑` cells for level, silence
-//!   and quality — rendered by [`render_signal_table`].
+//!   and quality — [`signal_table`].
+//!
+//! The paper's original renderings were hand-aligned, so headers do not
+//! always share a format spec with their data cells; [`Column`] carries
+//! optional header-only overrides (`header_width`, `header_align`,
+//! `header_sep`) to reproduce those layouts bit-for-bit.
 
 use crate::stats::SignalStats;
-use crate::summary::TrialSummary;
+use crate::summary::{format_loss_percent, format_power_of_ten, TrialSummary};
+use serde::{Serialize, SerializeStruct, Serializer};
+
+/// Horizontal alignment of a cell within its column width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Pad on the right.
+    Left,
+    /// Pad on the left.
+    Right,
+    /// Pad on both sides.
+    Center,
+}
+
+/// One column of a [`Table`]: a machine-readable name plus the layout spec
+/// the text renderer uses.
+#[derive(Debug, Clone)]
+pub struct Column {
+    /// Machine-readable column name (serialized; stable across layouts).
+    pub name: &'static str,
+    /// Header text; empty for headerless columns.
+    pub header: &'static str,
+    /// Cell width in characters (0 = unpadded).
+    pub width: usize,
+    /// Cell alignment.
+    pub align: Align,
+    /// Text emitted before the cell (column separator).
+    pub sep: &'static str,
+    /// Text emitted after the cell (a unit such as `%` or `ft`).
+    pub suffix: &'static str,
+    /// Decimal places for [`Cell::Float`] values.
+    pub precision: usize,
+    /// Header width when it differs from the cell width.
+    pub header_width: Option<usize>,
+    /// Header alignment when it differs from the cell alignment.
+    pub header_align: Option<Align>,
+    /// Header separator when it differs from the cell separator.
+    pub header_sep: Option<&'static str>,
+}
+
+impl Column {
+    /// A right-aligned, unpadded column with a single-space separator.
+    pub fn new(name: &'static str, header: &'static str) -> Column {
+        Column {
+            name,
+            header,
+            width: 0,
+            align: Align::Right,
+            sep: " ",
+            suffix: "",
+            precision: 0,
+            header_width: None,
+            header_align: None,
+            header_sep: None,
+        }
+    }
+
+    /// Sets the cell width.
+    pub fn width(mut self, width: usize) -> Column {
+        self.width = width;
+        self
+    }
+
+    /// Left-aligns cells.
+    pub fn left(mut self) -> Column {
+        self.align = Align::Left;
+        self
+    }
+
+    /// Sets the column separator (text before each cell).
+    pub fn sep(mut self, sep: &'static str) -> Column {
+        self.sep = sep;
+        self
+    }
+
+    /// Sets the cell suffix (a unit such as `%` or `ft`).
+    pub fn suffix(mut self, suffix: &'static str) -> Column {
+        self.suffix = suffix;
+        self
+    }
+
+    /// Sets the decimal places for [`Cell::Float`] values.
+    pub fn precision(mut self, precision: usize) -> Column {
+        self.precision = precision;
+        self
+    }
+
+    /// Overrides the header width.
+    pub fn header_width(mut self, width: usize) -> Column {
+        self.header_width = Some(width);
+        self
+    }
+
+    /// Overrides the header alignment.
+    pub fn header_align(mut self, align: Align) -> Column {
+        self.header_align = Some(align);
+        self
+    }
+
+    /// Overrides the header separator.
+    pub fn header_sep(mut self, sep: &'static str) -> Column {
+        self.header_sep = Some(sep);
+        self
+    }
+
+    /// Suppresses this column's header cell entirely (separator included) —
+    /// used where a data column has no header of its own, e.g. the packet
+    /// count inside `delivered/packets`.
+    pub fn no_header(mut self) -> Column {
+        self.header = "";
+        self.header_width = Some(0);
+        self
+    }
+}
+
+/// The `↓ μ (σ) ↑` quadruple of a signal-metrics cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatsCell {
+    /// Minimum observed value.
+    pub min: u8,
+    /// Mean.
+    pub mean: f64,
+    /// Standard deviation.
+    pub sd: f64,
+    /// Maximum observed value.
+    pub max: u8,
+}
+
+impl From<&SignalStats> for StatsCell {
+    fn from(stats: &SignalStats) -> StatsCell {
+        StatsCell {
+            min: stats.min(),
+            mean: stats.mean(),
+            sd: stats.std_dev(),
+            max: stats.max(),
+        }
+    }
+}
+
+/// One typed table cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// Free text (row labels, flags such as `ERROR`/`ok`).
+    Str(String),
+    /// An unsigned count.
+    UInt(u64),
+    /// A floating-point value, rendered at the column's precision.
+    Float(f64),
+    /// A `↓ μ (σ) ↑` signal-statistics quadruple.
+    Stats(StatsCell),
+    /// A horizontal bar of `#` marks (Figure 1's profile).
+    Bar(u64),
+    /// A loss fraction, rendered in the paper's percent style (`.030%`).
+    LossPercent(f64),
+    /// A bit count, rendered in the paper's power-of-ten shorthand
+    /// (`8 x 10^8`).
+    PowerOfTen(u64),
+    /// A count that renders as `-` when zero, like the paper's Worst column.
+    DashIfZero(u64),
+}
+
+impl Cell {
+    /// Renders the cell's text before column padding is applied.
+    fn text(&self, precision: usize) -> String {
+        match self {
+            Cell::Str(s) => s.clone(),
+            Cell::UInt(v) => v.to_string(),
+            Cell::Float(v) => format!("{v:.precision$}"),
+            Cell::Stats(s) => {
+                format!("{:>2} {:>5.2} ({:>5.2}) {:>2}", s.min, s.mean, s.sd, s.max)
+            }
+            Cell::Bar(n) => "#".repeat(*n as usize),
+            Cell::LossPercent(f) => format_loss_percent(*f),
+            Cell::PowerOfTen(bits) => format_power_of_ten(*bits),
+            Cell::DashIfZero(v) => {
+                if *v == 0 {
+                    "-".to_string()
+                } else {
+                    v.to_string()
+                }
+            }
+        }
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Cell {
+        Cell::Str(s.to_string())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Cell {
+        Cell::Str(s)
+    }
+}
+
+impl From<u64> for Cell {
+    fn from(v: u64) -> Cell {
+        Cell::UInt(v)
+    }
+}
+
+impl From<f64> for Cell {
+    fn from(v: f64) -> Cell {
+        Cell::Float(v)
+    }
+}
+
+impl From<&SignalStats> for Cell {
+    fn from(stats: &SignalStats) -> Cell {
+        Cell::Stats(StatsCell::from(stats))
+    }
+}
+
+/// A table: optional heading line, column schema, typed rows.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Heading printed on its own line(s) above the table, if any.
+    pub heading: Option<String>,
+    /// Column schema.
+    pub columns: Vec<Column>,
+    /// Rows of cells, one [`Cell`] per [`Column`].
+    pub rows: Vec<Vec<Cell>>,
+}
+
+fn pad(text: &str, width: usize, align: Align) -> String {
+    match align {
+        Align::Left => format!("{text:<width$}"),
+        Align::Right => format!("{text:>width$}"),
+        Align::Center => format!("{text:^width$}"),
+    }
+}
+
+impl Table {
+    /// Renders the heading, header line (if any column has one) and rows.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if let Some(heading) = &self.heading {
+            out.push_str(heading);
+            out.push('\n');
+        }
+        if self.columns.iter().any(|c| !c.header.is_empty()) {
+            for c in &self.columns {
+                if c.header.is_empty() && c.header_width == Some(0) {
+                    continue;
+                }
+                out.push_str(c.header_sep.unwrap_or(c.sep));
+                out.push_str(&pad(
+                    c.header,
+                    c.header_width.unwrap_or(c.width),
+                    c.header_align.unwrap_or(c.align),
+                ));
+            }
+            out.push('\n');
+        }
+        for row in &self.rows {
+            for (c, cell) in self.columns.iter().zip(row) {
+                out.push_str(c.sep);
+                out.push_str(&pad(&cell.text(c.precision), c.width, c.align));
+                out.push_str(c.suffix);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// One block of a [`Report`].
+#[derive(Debug, Clone)]
+pub enum Block {
+    /// A table.
+    Table(Table),
+    /// Free prose, rendered verbatim followed by a newline (may itself
+    /// contain newlines).
+    Note(String),
+    /// A blank separator line.
+    Blank,
+}
+
+impl Block {
+    /// Convenience constructor for a [`Block::Note`].
+    pub fn note(text: impl Into<String>) -> Block {
+        Block::Note(text.into())
+    }
+}
+
+/// Renders blocks to text by pure concatenation — no implicit separators.
+pub fn render_blocks(blocks: &[Block]) -> String {
+    let mut out = String::new();
+    for block in blocks {
+        match block {
+            Block::Table(t) => out.push_str(&t.render()),
+            Block::Note(text) => {
+                out.push_str(text);
+                out.push('\n');
+            }
+            Block::Blank => out.push('\n'),
+        }
+    }
+    out
+}
+
+/// A complete artifact report: identity, packet budget, content blocks.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Registry artifact name (`table2`, `figure1`, …).
+    pub artifact: &'static str,
+    /// One-line human title (first heading or note line of the content).
+    pub title: String,
+    /// The paper artifact this reproduces (e.g. `Table 2 (in-room base
+    /// case)`).
+    pub paper_artifact: &'static str,
+    /// Requested test-packet transmissions at the scale the report was run
+    /// at (the budget, not the stochastic delivery count).
+    pub packets: u64,
+    /// Content blocks in render order.
+    pub blocks: Vec<Block>,
+}
+
+impl Report {
+    /// Builds a report, deriving [`Report::title`] from the first heading or
+    /// note line in `blocks`.
+    pub fn new(
+        artifact: &'static str,
+        paper_artifact: &'static str,
+        packets: u64,
+        blocks: Vec<Block>,
+    ) -> Report {
+        let title = blocks
+            .iter()
+            .find_map(|b| match b {
+                Block::Table(t) => t
+                    .heading
+                    .as_deref()
+                    .and_then(|h| h.lines().next())
+                    .map(str::to_string),
+                Block::Note(n) => n.lines().next().map(str::to_string),
+                Block::Blank => None,
+            })
+            .unwrap_or_default();
+        Report {
+            artifact,
+            title,
+            paper_artifact,
+            packets,
+            blocks,
+        }
+    }
+
+    /// Renders the report to the exact text the paper-style tables use.
+    pub fn render(&self) -> String {
+        render_blocks(&self.blocks)
+    }
+}
+
+/// Column schema of the paper's Table 1 results shape.
+fn results_columns() -> Vec<Column> {
+    vec![
+        Column::new("trial", "Trial").width(22).left().sep(""),
+        Column::new("received", "Received").width(9),
+        Column::new("loss", "Loss").width(8),
+        Column::new("truncated", "Truncated").width(10),
+        Column::new("bits", "Bits").width(12),
+        Column::new("wrapper", "Wrapper").width(8),
+        Column::new("body", "Body").width(6),
+        Column::new("worst", "Worst").width(6),
+    ]
+}
+
+/// Builds a results table (the Table 2 / 5 / 8 / 11 shape).
+pub fn results_table(title: &str, rows: &[TrialSummary]) -> Table {
+    Table {
+        heading: Some(title.to_string()),
+        columns: results_columns(),
+        rows: rows
+            .iter()
+            .map(|r| {
+                vec![
+                    Cell::Str(r.name.clone()),
+                    Cell::UInt(r.packets_received),
+                    Cell::LossPercent(r.packet_loss),
+                    Cell::UInt(r.packets_truncated),
+                    Cell::PowerOfTen(r.bits_received),
+                    Cell::UInt(r.wrapper_damaged),
+                    Cell::UInt(r.body_bits_damaged),
+                    Cell::DashIfZero(u64::from(r.worst_body)),
+                ]
+            })
+            .collect(),
+    }
+}
+
+/// Column schema of the signal-metrics shape.
+fn signal_columns() -> Vec<Column> {
+    vec![
+        Column::new("row", "Row").width(28).left().sep(""),
+        Column::new("packets", "Packets").width(8),
+        Column::new("level", "Level  v mean (sd) ^")
+            .width(22)
+            .sep("  ")
+            .header_align(Align::Center),
+        Column::new("silence", "Silence  v mean (sd) ^")
+            .width(22)
+            .sep("  ")
+            .header_align(Align::Center),
+        Column::new("quality", "Quality  v mean (sd) ^")
+            .width(22)
+            .sep("  ")
+            .header_align(Align::Center),
+    ]
+}
+
+/// Builds a signal-metrics table (the Table 3 / 6 / 9 / 12 shape).
+pub fn signal_table(title: &str, rows: &[SignalRow]) -> Table {
+    Table {
+        heading: Some(title.to_string()),
+        columns: signal_columns(),
+        rows: rows
+            .iter()
+            .map(|r| {
+                vec![
+                    Cell::Str(r.name.clone()),
+                    Cell::UInt(r.packets),
+                    Cell::from(&r.level),
+                    Cell::from(&r.silence),
+                    Cell::from(&r.quality),
+                ]
+            })
+            .collect(),
+    }
+}
 
 /// One row of a signal-metrics table.
 #[derive(Debug, Clone)]
@@ -42,55 +486,88 @@ impl SignalRow {
 
 /// Renders a results table (the Table 2 / 5 / 8 / 11 shape).
 pub fn render_results_table(title: &str, rows: &[TrialSummary]) -> String {
-    let mut out = String::new();
-    out.push_str(&format!("{title}\n"));
-    out.push_str(&format!(
-        "{:<22} {:>9} {:>8} {:>10} {:>12} {:>8} {:>6} {:>6}\n",
-        "Trial", "Received", "Loss", "Truncated", "Bits", "Wrapper", "Body", "Worst"
-    ));
-    for r in rows {
-        out.push_str(&format!(
-            "{:<22} {:>9} {:>8} {:>10} {:>12} {:>8} {:>6} {:>6}\n",
-            r.name,
-            r.packets_received,
-            r.loss_percent_string(),
-            r.packets_truncated,
-            r.bits_received_string(),
-            r.wrapper_damaged,
-            r.body_bits_damaged,
-            if r.body_bits_damaged == 0 {
-                "-".to_string()
-            } else {
-                r.worst_body.to_string()
-            },
-        ));
-    }
-    out
+    results_table(title, rows).render()
 }
 
 /// Renders a signal-metrics table (the Table 3 / 6 / 9 / 12 shape).
 pub fn render_signal_table(title: &str, rows: &[SignalRow]) -> String {
-    let mut out = String::new();
-    out.push_str(&format!("{title}\n"));
-    out.push_str(&format!(
-        "{:<28} {:>8}  {:^22}  {:^22}  {:^22}\n",
-        "Row",
-        "Packets",
-        "Level  v mean (sd) ^",
-        "Silence  v mean (sd) ^",
-        "Quality  v mean (sd) ^"
-    ));
-    for r in rows {
-        out.push_str(&format!(
-            "{:<28} {:>8}  {:>22}  {:>22}  {:>22}\n",
-            r.name,
-            r.packets,
-            r.level.cell(),
-            r.silence.cell(),
-            r.quality.cell(),
-        ));
+    signal_table(title, rows).render()
+}
+
+impl Serialize for StatsCell {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("StatsCell", 4)?;
+        s.serialize_field("min", &self.min)?;
+        s.serialize_field("mean", &self.mean)?;
+        s.serialize_field("sd", &self.sd)?;
+        s.serialize_field("max", &self.max)?;
+        s.end()
     }
-    out
+}
+
+impl Serialize for Cell {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Cell::Str(v) => serializer.serialize_str(v),
+            Cell::UInt(v) | Cell::Bar(v) | Cell::PowerOfTen(v) | Cell::DashIfZero(v) => {
+                serializer.serialize_u64(*v)
+            }
+            Cell::Float(v) | Cell::LossPercent(v) => serializer.serialize_f64(*v),
+            Cell::Stats(stats) => stats.serialize(serializer),
+        }
+    }
+}
+
+impl Serialize for Column {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("Column", 3)?;
+        s.serialize_field("name", self.name)?;
+        s.serialize_field("header", self.header)?;
+        s.serialize_field("suffix", self.suffix)?;
+        s.end()
+    }
+}
+
+impl Serialize for Table {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("Table", 4)?;
+        s.serialize_field("type", "table")?;
+        s.serialize_field("heading", &self.heading)?;
+        s.serialize_field("columns", &self.columns)?;
+        s.serialize_field("rows", &self.rows)?;
+        s.end()
+    }
+}
+
+impl Serialize for Block {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Block::Table(t) => t.serialize(serializer),
+            Block::Note(text) => {
+                let mut s = serializer.serialize_struct("Note", 2)?;
+                s.serialize_field("type", "note")?;
+                s.serialize_field("text", text)?;
+                s.end()
+            }
+            Block::Blank => {
+                let mut s = serializer.serialize_struct("Blank", 1)?;
+                s.serialize_field("type", "blank")?;
+                s.end()
+            }
+        }
+    }
+}
+
+impl Serialize for Report {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("Report", 5)?;
+        s.serialize_field("artifact", self.artifact)?;
+        s.serialize_field("title", &self.title)?;
+        s.serialize_field("paper_artifact", self.paper_artifact)?;
+        s.serialize_field("packets", &self.packets)?;
+        s.serialize_field("blocks", &self.blocks)?;
+        s.end()
+    }
 }
 
 #[cfg(test)]
@@ -151,5 +628,55 @@ mod tests {
         assert!(table.contains("All test packets"));
         assert!(table.contains("26.33"));
         assert!(table.contains("15.00"));
+    }
+
+    #[test]
+    fn header_overrides_and_skips() {
+        let table = Table {
+            heading: None,
+            columns: vec![
+                Column::new("a", "a").width(4).sep(""),
+                Column::new("b", "bee").width(2).header_width(5),
+                Column::new("skip", "").width(3).no_header(),
+                Column::new("c", "c").width(2).header_sep("   "),
+            ],
+            rows: vec![vec![
+                Cell::UInt(1),
+                Cell::UInt(2),
+                Cell::Str("x".into()),
+                Cell::UInt(3),
+            ]],
+        };
+        let text = table.render();
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("   a   bee    c"));
+        assert_eq!(lines.next(), Some("   1  2   x  3"));
+    }
+
+    #[test]
+    fn headerless_table_has_no_header_line() {
+        let table = Table {
+            heading: Some("title".into()),
+            columns: vec![Column::new("v", "").width(3).sep("").precision(1)],
+            rows: vec![vec![Cell::Float(1.25)]],
+        };
+        assert_eq!(table.render(), "title\n1.2\n");
+    }
+
+    #[test]
+    fn report_title_comes_from_first_content_line() {
+        let report = Report::new(
+            "x",
+            "Table X",
+            7,
+            vec![
+                Block::Blank,
+                Block::note("first line\nsecond line"),
+                Block::note("later"),
+            ],
+        );
+        assert_eq!(report.title, "first line");
+        assert_eq!(report.render(), "\nfirst line\nsecond line\nlater\n");
+        assert_eq!(report.packets, 7);
     }
 }

@@ -58,28 +58,40 @@ impl TrialSummary {
     /// Loss as the paper prints it: a percentage with two significant
     /// decimals, e.g. `.03%`.
     pub fn loss_percent_string(&self) -> String {
-        let pct = self.packet_loss * 100.0;
-        if pct == 0.0 {
-            "0%".to_string()
-        } else if pct < 0.1 {
-            format!(".{:03.0}%", pct * 1000.0).replace(".0", ".0") // e.g. .007%
-        } else {
-            format!("{pct:.2}%")
-        }
+        format_loss_percent(self.packet_loss)
     }
 
     /// Bits received in the paper's power-of-ten shorthand (`8 × 10^8`).
     pub fn bits_received_string(&self) -> String {
-        if self.bits_received == 0 {
-            return "0".to_string();
-        }
-        let exp = (self.bits_received as f64).log10().floor() as u32;
-        let mantissa = self.bits_received as f64 / 10f64.powi(exp as i32);
-        if (mantissa - 1.0).abs() < 0.05 {
-            format!("10^{exp}")
-        } else {
-            format!("{mantissa:.0} x 10^{exp}")
-        }
+        format_power_of_ten(self.bits_received)
+    }
+}
+
+/// Formats a loss fraction in the paper's percent style: `0%`, `.030%`
+/// below a tenth of a percent, two decimals otherwise.
+pub fn format_loss_percent(fraction: f64) -> String {
+    let pct = fraction * 100.0;
+    if pct == 0.0 {
+        "0%".to_string()
+    } else if pct < 0.1 {
+        format!(".{:03.0}%", pct * 1000.0).replace(".0", ".0") // e.g. .007%
+    } else {
+        format!("{pct:.2}%")
+    }
+}
+
+/// Formats a bit count in the paper's power-of-ten shorthand (`8 x 10^8`,
+/// or `10^9` when the mantissa rounds to one).
+pub fn format_power_of_ten(bits: u64) -> String {
+    if bits == 0 {
+        return "0".to_string();
+    }
+    let exp = (bits as f64).log10().floor() as u32;
+    let mantissa = bits as f64 / 10f64.powi(exp as i32);
+    if (mantissa - 1.0).abs() < 0.05 {
+        format!("10^{exp}")
+    } else {
+        format!("{mantissa:.0} x 10^{exp}")
     }
 }
 

@@ -2,13 +2,16 @@
 //!
 //! ```text
 //! repro [--scale smoke|reduced|paper] [--seed N] [--jobs N]
-//!       [--timing-json PATH] [artifact ...]
+//!       [--format text|json] [--timing-json PATH] [--list] [artifact ...]
 //! ```
 //!
 //! With no artifact arguments, everything is regenerated in paper order.
-//! Artifacts: `table2 figure1 table3 figure2 figure3 table4 table5-7 table8-9
-//! table10 table11-13 table14 fec harq related-work tdma quality-threshold
-//! roaming hidden-terminal`.
+//! Run `repro --list` for the artifact names, the paper artifact each one
+//! reproduces, and its packet budget at the selected scale.
+//!
+//! `--format json` emits the run as one JSON document (the serde-serialized
+//! structured reports — see the "Report model" section of the README)
+//! instead of the rendered text tables.
 //!
 //! `--jobs N` sets the trial executor's worker count (default: one worker
 //! per core; `--jobs 1` is fully serial). Trial seeds derive purely from
@@ -20,9 +23,20 @@
 //! numbers (the same data as the stderr lines) as a JSON document, for
 //! machine consumption by CI perf tracking.
 
+use serde::{Serialize, SerializeStruct, Serializer};
 use std::time::Instant;
-use wavelan_bench::{run_artifact, ARTIFACTS};
-use wavelan_core::{Executor, Scale};
+use wavelan_analysis::json::to_string_pretty;
+use wavelan_bench::{run_report, RunDocument, ARTIFACTS};
+use wavelan_core::{registry, Executor, Scale};
+
+/// Output format of the run.
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    /// The rendered text tables (the golden-transcript format).
+    Text,
+    /// One JSON document of serde-serialized [`wavelan_analysis::Report`]s.
+    Json,
+}
 
 /// One timed artifact, for the `--timing-json` report.
 struct Timing {
@@ -31,42 +45,55 @@ struct Timing {
     packets: u64,
 }
 
-/// Renders the timing report as JSON. Hand-rolled: artifact names are
-/// `[a-z0-9-]` so no escaping is needed, and the bench crate deliberately
-/// takes no serde dependency.
-fn timing_json(
-    scale: Scale,
+impl Serialize for Timing {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("Timing", 4)?;
+        s.serialize_field("artifact", &self.artifact)?;
+        s.serialize_field("seconds", &self.seconds)?;
+        s.serialize_field("packets", &self.packets)?;
+        s.serialize_field(
+            "pkt_per_sec",
+            &(self.packets as f64 / self.seconds.max(1e-9)),
+        )?;
+        s.end()
+    }
+}
+
+/// The whole `--timing-json` document.
+struct TimingDoc {
+    scale: &'static str,
     seed: u64,
     jobs: usize,
-    timings: &[Timing],
-    total_seconds: f64,
-    total_packets: u64,
-) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str(&format!("  \"scale\": \"{scale:?}\",\n").to_lowercase());
-    out.push_str(&format!("  \"seed\": {seed},\n"));
-    out.push_str(&format!("  \"jobs\": {jobs},\n"));
-    out.push_str("  \"artifacts\": [\n");
-    for (i, t) in timings.iter().enumerate() {
-        let comma = if i + 1 < timings.len() { "," } else { "" };
-        out.push_str(&format!(
-            "    {{\"artifact\": \"{}\", \"seconds\": {:.6}, \"packets\": {}, \"pkt_per_sec\": {:.1}}}{comma}\n",
-            t.artifact,
-            t.seconds,
-            t.packets,
-            t.packets as f64 / t.seconds.max(1e-9)
-        ));
+    artifacts: Vec<Timing>,
+    total: Timing,
+}
+
+impl Serialize for TimingDoc {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("TimingDoc", 5)?;
+        s.serialize_field("scale", &self.scale)?;
+        s.serialize_field("seed", &self.seed)?;
+        s.serialize_field("jobs", &self.jobs)?;
+        s.serialize_field("artifacts", &self.artifacts)?;
+        s.serialize_field("total", &self.total)?;
+        s.end()
     }
-    out.push_str("  ],\n");
-    out.push_str(&format!(
-        "  \"total\": {{\"seconds\": {:.6}, \"packets\": {}, \"pkt_per_sec\": {:.1}}}\n",
-        total_seconds,
-        total_packets,
-        total_packets as f64 / total_seconds.max(1e-9)
-    ));
-    out.push_str("}\n");
-    out
+}
+
+/// Prints the registry listing for `--list`.
+fn list_artifacts(scale: Scale) {
+    println!(
+        "artifacts in paper order (packet budgets at scale {}):",
+        scale.name()
+    );
+    for e in registry::REGISTRY {
+        println!(
+            "  {:<18} {:>9}  {}",
+            e.artifact_name(),
+            e.packet_budget(scale),
+            e.paper_artifact()
+        );
+    }
 }
 
 fn main() {
@@ -74,6 +101,8 @@ fn main() {
     let mut scale = Scale::Reduced;
     let mut seed = 1996u64;
     let mut jobs = 0usize;
+    let mut format = Format::Text;
+    let mut list = false;
     let mut timing_json_path: Option<String> = None;
     let mut artifacts: Vec<String> = Vec::new();
     let mut it = args.iter();
@@ -102,6 +131,17 @@ fn main() {
                     std::process::exit(2);
                 })
             }
+            "--format" => {
+                format = match it.next().map(String::as_str) {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    other => {
+                        eprintln!("unknown format {other:?} (expected text or json)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--list" => list = true,
             "--timing-json" => {
                 timing_json_path = Some(it.next().cloned().unwrap_or_else(|| {
                     eprintln!("--timing-json needs a path");
@@ -111,51 +151,78 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "repro [--scale smoke|reduced|paper] [--seed N] [--jobs N] \
-                     [--timing-json PATH] [artifact ...]\n\
-                     artifacts: {}",
-                    ARTIFACTS.join(" ")
+                     [--format text|json] [--timing-json PATH] [--list] [artifact ...]\n\
+                     run `repro --list` for artifact names, paper artifacts, and \
+                     packet budgets"
                 );
                 return;
             }
             name => artifacts.push(name.to_string()),
         }
     }
+    if list {
+        list_artifacts(scale);
+        return;
+    }
     if artifacts.is_empty() {
         artifacts = ARTIFACTS.iter().map(|s| s.to_string()).collect();
     }
 
+    // Fail fast on unknown names, before any simulation time is spent.
+    let mut unknown = false;
+    for artifact in &artifacts {
+        if registry::find(artifact).is_none() {
+            eprintln!("unknown artifact {artifact}");
+            unknown = true;
+        }
+    }
+    if unknown {
+        eprintln!("valid artifacts: {}", ARTIFACTS.join(" "));
+        std::process::exit(2);
+    }
+
     let exec = Executor::new(jobs);
     eprintln!("[executor: {} worker(s)]", exec.jobs());
-    println!(
-        "# Reproduction of Eckhardt & Steenkiste, SIGCOMM '96 (scale {scale:?}, seed {seed})\n"
-    );
+    if format == Format::Text {
+        println!(
+            "# Reproduction of Eckhardt & Steenkiste, SIGCOMM '96 (scale {scale:?}, seed {seed})\n"
+        );
+    }
     let total_start = Instant::now();
     let mut total_packets = 0u64;
-    let mut unknown = 0usize;
     let mut timings: Vec<Timing> = Vec::new();
+    let mut reports = Vec::new();
     for artifact in &artifacts {
         let start = Instant::now();
-        let Some(run) = run_artifact(artifact, scale, seed, &exec) else {
-            eprintln!("unknown artifact {artifact}");
-            unknown += 1;
-            continue;
-        };
+        let report = run_report(artifact, scale, seed, &exec).expect("validated above");
         let elapsed = start.elapsed().as_secs_f64();
-        println!("{}", run.text);
+        let packets = report.packets;
+        match format {
+            Format::Text => println!("{}", report.render()),
+            Format::Json => reports.push(report),
+        }
         // Timing goes to stderr: stdout stays bit-identical across runs and
         // worker counts (the golden regression diffs it verbatim).
         eprintln!(
             "[{artifact}: {:.2}s, {} packets, {:.0} pkt/s]",
             elapsed,
-            run.packets,
-            run.packets as f64 / elapsed.max(1e-9)
+            packets,
+            packets as f64 / elapsed.max(1e-9)
         );
-        total_packets += run.packets;
+        total_packets += packets;
         timings.push(Timing {
             artifact: artifact.clone(),
             seconds: elapsed,
-            packets: run.packets,
+            packets,
         });
+    }
+    if format == Format::Json {
+        let doc = RunDocument {
+            scale: scale.name(),
+            seed,
+            artifacts: reports,
+        };
+        print!("{}", to_string_pretty(&doc));
     }
     let total = total_start.elapsed().as_secs_f64();
     eprintln!(
@@ -165,14 +232,21 @@ fn main() {
         total_packets as f64 / total.max(1e-9)
     );
     if let Some(path) = timing_json_path {
-        let json = timing_json(scale, seed, exec.jobs(), &timings, total, total_packets);
-        if let Err(e) = std::fs::write(&path, json) {
+        let doc = TimingDoc {
+            scale: scale.name(),
+            seed,
+            jobs: exec.jobs(),
+            artifacts: timings,
+            total: Timing {
+                artifact: String::from("total"),
+                seconds: total,
+                packets: total_packets,
+            },
+        };
+        if let Err(e) = std::fs::write(&path, to_string_pretty(&doc)) {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(2);
         }
         eprintln!("[timing report written to {path}]");
-    }
-    if unknown > 0 {
-        std::process::exit(2);
     }
 }

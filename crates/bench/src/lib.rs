@@ -5,40 +5,24 @@
 //! and the Criterion benches (`cargo bench`) measure the substrates and run
 //! the ablations called out in DESIGN.md.
 //!
-//! The artifact dispatch lives here (not in the binary) so integration
-//! tests can run artifacts in-process: the golden-output regression test
+//! Artifact dispatch is a thin veneer over the experiment registry in
+//! `wavelan_core::registry`: [`ARTIFACTS`] mirrors the registry's canonical
+//! name list and [`run_artifact`]/[`run_report`] resolve names through
+//! [`wavelan_core::registry::find`]. Integration tests run artifacts
+//! in-process through these entry points: the golden-output regression test
 //! renders `--scale smoke` through [`run_artifact`] and diffs against a
 //! committed transcript, and the determinism test replays artifacts at
 //! different worker counts.
 
-use wavelan_core::experiments::{
-    adaptive_fec, body, competing, harq, hidden_terminal, in_room, multiroom, narrowband,
-    path_loss, quality_threshold, related_work, signal_vs_error, ss_phone, tdma, threshold, walls,
-};
+use serde::{Serialize, SerializeStruct, Serializer};
+use wavelan_analysis::Report;
+use wavelan_core::registry;
 use wavelan_core::{Executor, Scale};
 
 /// Names of all reproducible artifacts: the paper's tables and figures in
-/// paper order, then the extension experiments.
-pub const ARTIFACTS: [&str; 18] = [
-    "table2",
-    "figure1",
-    "table3",
-    "figure2",
-    "figure3",
-    "table4",
-    "table5-7",
-    "table8-9",
-    "table10",
-    "table11-13",
-    "table14",
-    "fec",
-    "harq",
-    "related-work",
-    "tdma",
-    "quality-threshold",
-    "roaming",
-    "hidden-terminal",
-];
+/// paper order, then the extension experiments. Identical to
+/// [`wavelan_core::registry::NAMES`].
+pub const ARTIFACTS: [&str; 18] = registry::NAMES;
 
 /// One artifact's rendered output plus its simulated volume.
 #[derive(Debug, Clone)]
@@ -51,121 +35,42 @@ pub struct ArtifactRun {
     pub packets: u64,
 }
 
-/// Runs one artifact by name on the given executor. Returns `None` for an
-/// unknown artifact name.
-pub fn run_artifact(name: &str, scale: Scale, seed: u64, exec: &Executor) -> Option<ArtifactRun> {
-    let run = match name {
-        "table2" => ArtifactRun {
-            text: in_room::run_with(scale, seed, exec).render(),
-            packets: in_room::PAPER_TRIALS
-                .iter()
-                .map(|&(_, p)| scale.packets(p))
-                .sum(),
-        },
-        "figure1" => {
-            let per_point = scale.packets(1_440);
-            ArtifactRun {
-                text: path_loss::run_with(&[], per_point, seed, exec).render(),
-                packets: 31 * per_point,
-            }
-        }
-        "table3" => ArtifactRun {
-            text: signal_vs_error::run_with(scale, seed, exec).render_table3(),
-            packets: signal_vs_error_packets(scale),
-        },
-        "figure2" => ArtifactRun {
-            text: signal_vs_error::run_with(scale, seed, exec).render_figure2(),
-            packets: signal_vs_error_packets(scale),
-        },
-        "figure3" => {
-            let per_point = scale.packets(1_440);
-            ArtifactRun {
-                text: threshold::run_with(&[], per_point, seed, exec).render(),
-                packets: 13 * per_point,
-            }
-        }
-        "table4" => ArtifactRun {
-            text: walls::run_with(scale, seed, exec).render(),
-            packets: 4 * scale.packets(walls::PAPER_PACKETS),
-        },
-        "table5-7" | "table5" | "table6" | "table7" => ArtifactRun {
-            text: multiroom::run_with(scale, seed, exec).render(),
-            packets: multiroom::PAPER_PACKETS
-                .iter()
-                .map(|&(_, p)| scale.packets(p))
-                .sum(),
-        },
-        "table8-9" | "table8" | "table9" => ArtifactRun {
-            text: body::run_with(scale, seed, exec).render(),
-            packets: 2 * scale.packets(body::PAPER_PACKETS),
-        },
-        "table10" => ArtifactRun {
-            text: narrowband::run_with(scale, seed, exec).render(),
-            packets: 5 * scale.packets(narrowband::PAPER_PACKETS),
-        },
-        "table11-13" | "table11" | "table12" | "table13" => ArtifactRun {
-            text: ss_phone::run_with(scale, seed, exec).render(),
-            packets: 6 * scale.packets(ss_phone::PAPER_PACKETS),
-        },
-        "table14" => ArtifactRun {
-            text: competing::run_with(scale, seed, exec).render(),
-            packets: 2 * scale.packets(competing::PAPER_PACKETS)
-                + scale.packets(competing::PAPER_PACKETS).min(500),
-        },
-        "fec" => ArtifactRun {
-            text: adaptive_fec::run_with(scale, seed, exec).render(),
-            packets: 6 * scale.packets(ss_phone::PAPER_PACKETS),
-        },
-        "harq" => ArtifactRun {
-            text: harq::run_with(scale, seed, exec).render(),
-            packets: 6 * scale.packets(ss_phone::PAPER_PACKETS),
-        },
-        "related-work" => {
-            let per_point = scale.packets(1_440).min(800);
-            ArtifactRun {
-                text: related_work::run_with(per_point, seed, exec).render(),
-                packets: 16 * per_point,
-            }
-        }
-        "tdma" => ArtifactRun {
-            text: tdma::run_with(8, 500, seed, exec).render(),
-            // 8 load points × 500 frames × 16 slots, one packet slot each.
-            packets: 8 * 500 * 16,
-        },
-        "quality-threshold" => ArtifactRun {
-            text: quality_threshold::run_with(scale, seed, exec).render(),
-            packets: 5 * scale.packets(1_440),
-        },
-        "hidden-terminal" => {
-            let packets = scale.packets(1_440).min(1_000);
-            ArtifactRun {
-                text: hidden_terminal::run_with(packets, seed, exec).render(),
-                packets: 2 * packets,
-            }
-        }
-        "roaming" => ArtifactRun {
-            text: wavelan_cell::roaming::walk(
-                wavelan_cell::roaming::TwoCells {
-                    separation_ft: 200.0,
-                    threshold: 12,
-                },
-                20.0,
-                180.0,
-                17,
-                2_000,
-                seed,
-            )
-            .render(),
-            packets: 17 * 2_000,
-        },
-        _ => return None,
-    };
-    Some(run)
+/// Runs one artifact by name and returns its structured [`Report`].
+/// Returns `None` for an unknown artifact name.
+pub fn run_report(name: &str, scale: Scale, seed: u64, exec: &Executor) -> Option<Report> {
+    registry::find(name).map(|e| e.run(scale, seed, exec))
 }
 
-fn signal_vs_error_packets(scale: Scale) -> u64 {
-    signal_vs_error::POSITION_LADDER_FT.len() as u64
-        * scale.packets(8_634 / signal_vs_error::POSITION_LADDER_FT.len() as u64)
+/// Runs one artifact by name on the given executor. Returns `None` for an
+/// unknown artifact name. Kept as the text-rendering convenience over
+/// [`run_report`].
+pub fn run_artifact(name: &str, scale: Scale, seed: u64, exec: &Executor) -> Option<ArtifactRun> {
+    run_report(name, scale, seed, exec).map(|report| ArtifactRun {
+        text: report.render(),
+        packets: report.packets,
+    })
+}
+
+/// A full `repro` run as a serializable document: the scale and seed it ran
+/// at plus every artifact's [`Report`], in run order.
+#[derive(Debug, Clone)]
+pub struct RunDocument {
+    /// Scale name (`smoke`, `reduced`, `paper`).
+    pub scale: &'static str,
+    /// Base seed of the run.
+    pub seed: u64,
+    /// One report per artifact run.
+    pub artifacts: Vec<Report>,
+}
+
+impl Serialize for RunDocument {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("RunDocument", 3)?;
+        s.serialize_field("scale", &self.scale)?;
+        s.serialize_field("seed", &self.seed)?;
+        s.serialize_field("artifacts", &self.artifacts)?;
+        s.end()
+    }
 }
 
 #[cfg(test)]
@@ -181,5 +86,25 @@ mod tests {
         assert!(!run.text.is_empty());
         assert!(run.packets > 0);
         assert!(run_artifact("no-such-artifact", Scale::Smoke, 7, &exec).is_none());
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let exec = Executor::serial();
+        let report = run_report("tdma", Scale::Smoke, 7, &exec).expect("known artifact");
+        let doc = RunDocument {
+            scale: Scale::Smoke.name(),
+            seed: 7,
+            artifacts: vec![report],
+        };
+        let json = wavelan_analysis::json::to_string_pretty(&doc);
+        let value = wavelan_analysis::json::parse(&json).expect("valid JSON");
+        assert_eq!(
+            value.get("scale").and_then(|v| match v {
+                wavelan_analysis::json::Value::Str(s) => Some(s.as_str()),
+                _ => None,
+            }),
+            Some("smoke")
+        );
     }
 }

@@ -16,6 +16,8 @@
 //! * the other cell's internal throughput relative to a client-free baseline
 //!   (the carrier-sense disruption footprint).
 
+use wavelan_analysis::report::{render_blocks, Cell, Column, Table};
+use wavelan_analysis::Block;
 use wavelan_mac::Thresholds;
 use wavelan_net::testpkt::Endpoint;
 use wavelan_phy::agc::power_to_level_units;
@@ -65,23 +67,49 @@ impl RoamReport {
             .collect()
     }
 
+    /// The report blocks: one table over the walk.
+    pub fn blocks(&self) -> Vec<Block> {
+        let table = Table {
+            heading: Some(String::from(
+                "Roaming client between two pseudo-cells (Section 7.4's border zone)",
+            )),
+            columns: vec![
+                Column::new("pos_ft", "pos")
+                    .width(4)
+                    .sep("")
+                    .suffix("ft")
+                    .header_width(3),
+                Column::new("cell", "cell").width(3).sep("  ").header_width(6),
+                Column::new("level", "level").width(6).precision(1),
+                Column::new("client_delivery_pct", "client-delivery")
+                    .width(14)
+                    .suffix("%")
+                    .header_width(16),
+                Column::new("other_cell_throughput_pct", "other-cell-throughput")
+                    .width(18)
+                    .suffix("%")
+                    .header_width(22),
+            ],
+            rows: self
+                .steps
+                .iter()
+                .map(|s| {
+                    vec![
+                        Cell::Float(s.x_ft),
+                        Cell::UInt(s.serving_cell as u64),
+                        Cell::Float(s.serving_level),
+                        Cell::Float(s.client_delivery * 100.0),
+                        Cell::Float(s.other_cell_throughput * 100.0),
+                    ]
+                })
+                .collect(),
+        };
+        vec![Block::Table(table)]
+    }
+
     /// Renders the walk.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "Roaming client between two pseudo-cells (Section 7.4's border zone)\n\
-             pos    cell  level  client-delivery  other-cell-throughput\n",
-        );
-        for s in &self.steps {
-            out.push_str(&format!(
-                "{:>4.0}ft  {:>3} {:>6.1} {:>14.0}% {:>18.0}%\n",
-                s.x_ft,
-                s.serving_cell,
-                s.serving_level,
-                s.client_delivery * 100.0,
-                s.other_cell_throughput * 100.0
-            ));
-        }
-        out
+        render_blocks(&self.blocks())
     }
 }
 

@@ -17,9 +17,11 @@
 use super::common::Scale;
 use super::ss_phone;
 use crate::executor::Executor;
+use crate::registry::Experiment;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use wavelan_analysis::PacketClass;
+use wavelan_analysis::report::{render_blocks, Cell, Column, Table};
+use wavelan_analysis::{Block, PacketClass, Report};
 use wavelan_fec::rcpc::{CodeRate, RcpcCodec};
 use wavelan_fec::{AdaptiveFec, BlockInterleaver};
 use wavelan_phy::link::sample_bit_errors;
@@ -73,30 +75,95 @@ pub struct AdaptiveFecResult {
 }
 
 impl AdaptiveFecResult {
+    /// The report blocks: headline notes, the fixed-rate table, and the
+    /// adaptive-controller summary.
+    pub fn blocks(&self) -> Vec<Block> {
+        let table = Table {
+            heading: None,
+            columns: vec![
+                Column::new("rate", "rate").width(6).sep(""),
+                Column::new("overhead_pct", "overhead")
+                    .width(8)
+                    .suffix("%")
+                    .header_width(10),
+                Column::new("recovered_pct", "recovered")
+                    .width(9)
+                    .precision(1)
+                    .suffix("%")
+                    .header_width(10),
+            ],
+            rows: self
+                .fixed
+                .iter()
+                .map(|r| {
+                    vec![
+                        Cell::Str(format!("{:?}", r.rate)),
+                        Cell::Float(r.overhead * 100.0),
+                        Cell::Float(r.recovery() * 100.0),
+                    ]
+                })
+                .collect(),
+        };
+        vec![
+            Block::Note(String::from(
+                "Variable FEC on the 'AT&T handset' error trace (paper Section 8)",
+            )),
+            Block::Note(format!(
+                "uncoded: {:.0}% of arriving packets body-damaged",
+                self.uncoded_damaged_fraction * 100.0
+            )),
+            Block::Blank,
+            Block::Table(table),
+            Block::Blank,
+            Block::Note(format!(
+                "adaptive controller: {:.2}% residual corruption at {:.0}% mean overhead \
+                 (vs {:.0}% overhead always-strongest)",
+                self.adaptive.residual_corrupted as f64 / self.adaptive.packets.max(1) as f64
+                    * 100.0,
+                self.adaptive.mean_overhead * 100.0,
+                CodeRate::R1_4.overhead() * 100.0,
+            )),
+        ]
+    }
+
     /// Renders the summary table.
     pub fn render(&self) -> String {
-        let mut out =
-            String::from("Variable FEC on the 'AT&T handset' error trace (paper Section 8)\n");
-        out.push_str(&format!(
-            "uncoded: {:.0}% of arriving packets body-damaged\n\n  rate   overhead  recovered\n",
-            self.uncoded_damaged_fraction * 100.0
-        ));
-        for r in &self.fixed {
-            out.push_str(&format!(
-                "{:>6} {:>8.0}% {:>9.1}%\n",
-                format!("{:?}", r.rate),
-                r.overhead * 100.0,
-                r.recovery() * 100.0
-            ));
-        }
-        out.push_str(&format!(
-            "\nadaptive controller: {:.2}% residual corruption at {:.0}% mean overhead \
-             (vs {:.0}% overhead always-strongest)\n",
-            self.adaptive.residual_corrupted as f64 / self.adaptive.packets.max(1) as f64 * 100.0,
-            self.adaptive.mean_overhead * 100.0,
-            CodeRate::R1_4.overhead() * 100.0,
-        ));
-        out
+        render_blocks(&self.blocks())
+    }
+}
+
+/// This experiment's registry id (no sim trials of its own — it replays the
+/// SS-phone trace — so the id is only a registry discriminator).
+pub const EXPERIMENT_ID: u64 = 15;
+
+/// Registry entry for the Section 8 variable-FEC conjecture.
+pub struct Fec;
+
+impl Experiment for Fec {
+    fn id(&self) -> u64 {
+        EXPERIMENT_ID
+    }
+
+    fn artifact_name(&self) -> &'static str {
+        "fec"
+    }
+
+    fn paper_artifact(&self) -> &'static str {
+        "Section 8 conjecture (variable FEC)"
+    }
+
+    fn packet_budget(&self, scale: Scale) -> u64 {
+        6 * scale.packets(ss_phone::PAPER_PACKETS)
+    }
+
+    fn run(&self, scale: Scale, seed: u64, exec: &Executor) -> Report {
+        let result = run_with(scale, seed, exec);
+        Report::new(
+            self.artifact_name(),
+            self.paper_artifact(),
+            self.packet_budget(scale),
+            result.blocks(),
+        )
     }
 }
 

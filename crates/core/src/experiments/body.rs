@@ -10,8 +10,9 @@
 use super::common::{PointTrial, Scale};
 use crate::executor::{trial_seed, Executor};
 use crate::layouts;
-use wavelan_analysis::report::{render_results_table, render_signal_table, SignalRow};
-use wavelan_analysis::{PacketClass, TraceAnalysis, TrialSummary};
+use crate::registry::Experiment;
+use wavelan_analysis::report::{render_blocks, results_table, signal_table, SignalRow};
+use wavelan_analysis::{Block, PacketClass, Report, TraceAnalysis, TrialSummary};
 use wavelan_sim::{Propagation, SimScratch};
 
 /// This experiment's stream id for [`trial_seed`].
@@ -72,18 +73,59 @@ impl BodyResult {
             - self.body.stats_where(|p| p.is_test).0.mean()
     }
 
+    /// The report blocks: both tables with a blank separator.
+    pub fn blocks(&self) -> Vec<Block> {
+        vec![
+            Block::Table(results_table(
+                "Table 8: Effects of human body on packet loss and errors",
+                &self.table8(),
+            )),
+            Block::Blank,
+            Block::Table(signal_table(
+                "Table 9: Effect of human body on signal measurements",
+                &self.table9(),
+            )),
+        ]
+    }
+
     /// Renders both tables.
     pub fn render(&self) -> String {
-        let mut out = render_results_table(
-            "Table 8: Effects of human body on packet loss and errors",
-            &self.table8(),
-        );
-        out.push('\n');
-        out.push_str(&render_signal_table(
-            "Table 9: Effect of human body on signal measurements",
-            &self.table9(),
-        ));
-        out
+        render_blocks(&self.blocks())
+    }
+}
+
+/// Registry entry reproducing Tables 8–9.
+pub struct Tables8To9;
+
+impl Experiment for Tables8To9 {
+    fn id(&self) -> u64 {
+        EXPERIMENT_ID
+    }
+
+    fn artifact_name(&self) -> &'static str {
+        "table8-9"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["table8", "table9"]
+    }
+
+    fn paper_artifact(&self) -> &'static str {
+        "Tables 8-9 (human body)"
+    }
+
+    fn packet_budget(&self, scale: Scale) -> u64 {
+        2 * scale.packets(PAPER_PACKETS)
+    }
+
+    fn run(&self, scale: Scale, seed: u64, exec: &Executor) -> Report {
+        let result = run_with(scale, seed, exec);
+        Report::new(
+            self.artifact_name(),
+            self.paper_artifact(),
+            self.packet_budget(scale),
+            result.blocks(),
+        )
     }
 }
 

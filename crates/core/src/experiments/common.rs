@@ -35,6 +35,15 @@ impl Scale {
             Scale::Paper => paper_count,
         }
     }
+
+    /// The CLI/JSON name of the scale (`smoke`, `reduced`, `paper`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Reduced => "reduced",
+            Scale::Paper => "paper",
+        }
+    }
 }
 
 /// The conventional endpoints: station 1 receives, station 2 transmits.

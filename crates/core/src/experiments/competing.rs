@@ -12,8 +12,9 @@
 use super::common::{expected_series, test_receiver, test_sender, Scale};
 use crate::executor::{trial_seed, Executor};
 use crate::layouts::{self, MultiRoom};
-use wavelan_analysis::report::{render_signal_table, SignalRow};
-use wavelan_analysis::{analyze, PacketClass, TraceAnalysis};
+use crate::registry::Experiment;
+use wavelan_analysis::report::{render_blocks, signal_table, SignalRow};
+use wavelan_analysis::{analyze, Block, PacketClass, Report, TraceAnalysis};
 use wavelan_mac::csma::MacStats;
 use wavelan_mac::Thresholds;
 use wavelan_net::testpkt::Endpoint;
@@ -71,32 +72,71 @@ impl CompetingResult {
         rows
     }
 
+    /// The report blocks: the table plus the threshold-3 narrative note.
+    pub fn blocks(&self) -> Vec<Block> {
+        let t3 = &self.threshold3;
+        vec![
+            Block::Table(signal_table(
+                "Table 14: Signal metrics with and without interfering WaveLAN transmitters",
+                &self.table14(),
+            )),
+            Block::Blank,
+            Block::Note(format!(
+                "At the standard receive threshold of 3 the link is unusable:\n\
+                 victim transmitted {} packets ({} collisions on {} attempts, {} frames \
+                 dropped); receiver logged {} packets of which {} were foreign and {} \
+                 damaged.",
+                t3.sender_transmitted,
+                t3.sender_mac.collisions,
+                t3.sender_mac.attempts,
+                t3.sender_mac.drops,
+                t3.analysis.packets.len(),
+                t3.analysis.outsiders().count(),
+                t3.analysis.packets.len()
+                    - t3.analysis.count(PacketClass::Undamaged)
+                    - t3.analysis
+                        .outsiders()
+                        .filter(|p| p.class == PacketClass::Undamaged)
+                        .count(),
+            )),
+        ]
+    }
+
     /// Renders the Table 14 reproduction plus the threshold-3 summary line.
     pub fn render(&self) -> String {
-        let mut out = render_signal_table(
-            "Table 14: Signal metrics with and without interfering WaveLAN transmitters",
-            &self.table14(),
-        );
-        let t3 = &self.threshold3;
-        out.push_str(&format!(
-            "\nAt the standard receive threshold of 3 the link is unusable:\n\
-             victim transmitted {} packets ({} collisions on {} attempts, {} frames \
-             dropped); receiver logged {} packets of which {} were foreign and {} \
-             damaged.\n",
-            t3.sender_transmitted,
-            t3.sender_mac.collisions,
-            t3.sender_mac.attempts,
-            t3.sender_mac.drops,
-            t3.analysis.packets.len(),
-            t3.analysis.outsiders().count(),
-            t3.analysis.packets.len()
-                - t3.analysis.count(PacketClass::Undamaged)
-                - t3.analysis
-                    .outsiders()
-                    .filter(|p| p.class == PacketClass::Undamaged)
-                    .count(),
-        ));
-        out
+        render_blocks(&self.blocks())
+    }
+}
+
+/// Registry entry reproducing Table 14 (plus the threshold-3 narrative).
+pub struct Table14;
+
+impl Experiment for Table14 {
+    fn id(&self) -> u64 {
+        EXPERIMENT_ID
+    }
+
+    fn artifact_name(&self) -> &'static str {
+        "table14"
+    }
+
+    fn paper_artifact(&self) -> &'static str {
+        "Table 14 (competing WaveLAN)"
+    }
+
+    fn packet_budget(&self, scale: Scale) -> u64 {
+        let packets = scale.packets(PAPER_PACKETS);
+        2 * packets + packets.min(500)
+    }
+
+    fn run(&self, scale: Scale, seed: u64, exec: &Executor) -> Report {
+        let result = run_with(scale, seed, exec);
+        Report::new(
+            self.artifact_name(),
+            self.paper_artifact(),
+            self.packet_budget(scale),
+            result.blocks(),
+        )
     }
 }
 

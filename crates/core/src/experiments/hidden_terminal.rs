@@ -11,9 +11,11 @@
 //! the hidden one is farther away, so capture can rescue the near link's
 //! packets from collisions carrier sense cannot prevent.
 
-use super::common::{expected_series, test_receiver, test_sender};
+use super::common::{expected_series, test_receiver, test_sender, Scale};
 use crate::executor::{trial_seed, Executor};
-use wavelan_analysis::analyze;
+use crate::registry::Experiment;
+use wavelan_analysis::report::{render_blocks, Cell, Column, Table};
+use wavelan_analysis::{analyze, Block, Report};
 use wavelan_net::testpkt::Endpoint;
 use wavelan_sim::runner::attach_tx_count;
 use wavelan_sim::{Point, Propagation, ScenarioBuilder, SimScratch, StationConfig};
@@ -49,20 +51,88 @@ pub struct HiddenTerminalResult {
 }
 
 impl HiddenTerminalResult {
+    /// The report blocks: the setup note, the two-row comparison, and the
+    /// mechanism note.
+    pub fn blocks(&self) -> Vec<Block> {
+        let table = Table {
+            heading: None,
+            columns: vec![
+                Column::new("config", "").width(26).left().sep("").no_header(),
+                Column::new("delivered_pct", "")
+                    .sep(" near link delivers ")
+                    .precision(1)
+                    .suffix("%")
+                    .no_header(),
+            ],
+            rows: vec![
+                vec![
+                    Cell::Str(String::from("capture ON  (6 dB margin):")),
+                    Cell::Float(self.with_capture.delivery() * 100.0),
+                ],
+                vec![
+                    Cell::Str(String::from("capture OFF (ablated):")),
+                    Cell::Float(self.without_capture.delivery() * 100.0),
+                ],
+            ],
+        };
+        vec![
+            Block::Note(String::from(
+                "Hidden-terminal resistance via the capture effect (Section 7.4)\n\
+                 victim between a near partner (28 ft) and a hidden saturating\n\
+                 transmitter (194 ft) that the partner cannot hear:",
+            )),
+            Block::Blank,
+            Block::Table(table),
+            Block::Blank,
+            Block::Note(String::from(
+                "Carrier sense cannot prevent these collisions (the transmitters\n\
+                 are hidden from each other); the stronger near packet capturing\n\
+                 the receiver is what keeps the link usable — the paper's\n\
+                 conjectured mechanism.",
+            )),
+        ]
+    }
+
     /// Renders the comparison.
     pub fn render(&self) -> String {
-        format!(
-            "Hidden-terminal resistance via the capture effect (Section 7.4)\n\
-             victim between a near partner (28 ft) and a hidden saturating\n\
-             transmitter (194 ft) that the partner cannot hear:\n\n\
-             capture ON  (6 dB margin): near link delivers {:.1}%\n\
-             capture OFF (ablated):     near link delivers {:.1}%\n\n\
-             Carrier sense cannot prevent these collisions (the transmitters\n\
-             are hidden from each other); the stronger near packet capturing\n\
-             the receiver is what keeps the link usable — the paper's\n\
-             conjectured mechanism.\n",
-            self.with_capture.delivery() * 100.0,
-            self.without_capture.delivery() * 100.0,
+        render_blocks(&self.blocks())
+    }
+}
+
+/// Registry entry for the Section 7.4 hidden-terminal ablation.
+pub struct HiddenTerminal;
+
+impl HiddenTerminal {
+    /// Packets per configuration (capped: the ablated run crawls).
+    fn per_config(scale: Scale) -> u64 {
+        scale.packets(1_440).min(1_000)
+    }
+}
+
+impl Experiment for HiddenTerminal {
+    fn id(&self) -> u64 {
+        EXPERIMENT_ID
+    }
+
+    fn artifact_name(&self) -> &'static str {
+        "hidden-terminal"
+    }
+
+    fn paper_artifact(&self) -> &'static str {
+        "Section 7.4 (hidden terminals)"
+    }
+
+    fn packet_budget(&self, scale: Scale) -> u64 {
+        2 * Self::per_config(scale)
+    }
+
+    fn run(&self, scale: Scale, seed: u64, exec: &Executor) -> Report {
+        let result = run_with(Self::per_config(scale), seed, exec);
+        Report::new(
+            self.artifact_name(),
+            self.paper_artifact(),
+            self.packet_budget(scale),
+            result.blocks(),
         )
     }
 }

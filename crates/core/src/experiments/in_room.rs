@@ -14,8 +14,9 @@
 use super::common::{PointTrial, Scale};
 use crate::executor::{trial_seed, Executor};
 use crate::layouts;
-use wavelan_analysis::report::render_results_table;
-use wavelan_analysis::TrialSummary;
+use crate::registry::Experiment;
+use wavelan_analysis::report::{render_blocks, results_table};
+use wavelan_analysis::{Block, Report, TrialSummary};
 use wavelan_sim::{Propagation, SimScratch};
 
 /// This experiment's stream id for [`trial_seed`].
@@ -62,9 +63,48 @@ impl InRoomResult {
             .fold(0.0, f64::max)
     }
 
+    /// The report blocks of the Table 2 reproduction.
+    pub fn blocks(&self) -> Vec<Block> {
+        vec![Block::Table(results_table(
+            "Table 2: Results of in-room experiment",
+            &self.trials,
+        ))]
+    }
+
     /// Renders the Table 2 reproduction.
     pub fn render(&self) -> String {
-        render_results_table("Table 2: Results of in-room experiment", &self.trials)
+        render_blocks(&self.blocks())
+    }
+}
+
+/// Registry entry reproducing Table 2.
+pub struct Table2;
+
+impl Experiment for Table2 {
+    fn id(&self) -> u64 {
+        EXPERIMENT_ID
+    }
+
+    fn artifact_name(&self) -> &'static str {
+        "table2"
+    }
+
+    fn paper_artifact(&self) -> &'static str {
+        "Table 2 (in-room base case)"
+    }
+
+    fn packet_budget(&self, scale: Scale) -> u64 {
+        PAPER_TRIALS.iter().map(|(_, p)| scale.packets(*p)).sum()
+    }
+
+    fn run(&self, scale: Scale, seed: u64, exec: &Executor) -> Report {
+        let result = run_with(scale, seed, exec);
+        Report::new(
+            self.artifact_name(),
+            self.paper_artifact(),
+            self.packet_budget(scale),
+            result.blocks(),
+        )
     }
 }
 

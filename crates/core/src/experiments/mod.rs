@@ -13,6 +13,7 @@ pub mod narrowband;
 pub mod path_loss;
 pub mod quality_threshold;
 pub mod related_work;
+pub mod roaming;
 pub mod signal_vs_error;
 pub mod ss_phone;
 pub mod tdma;

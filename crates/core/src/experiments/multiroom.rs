@@ -11,8 +11,9 @@
 use super::common::{PointTrial, Scale};
 use crate::executor::{trial_seed, Executor};
 use crate::layouts::{self, MultiRoom};
-use wavelan_analysis::report::{render_results_table, render_signal_table, SignalRow};
-use wavelan_analysis::{PacketClass, TraceAnalysis, TrialSummary};
+use crate::registry::Experiment;
+use wavelan_analysis::report::{render_blocks, results_table, signal_table, SignalRow};
+use wavelan_analysis::{Block, PacketClass, Report, TraceAnalysis, TrialSummary};
 use wavelan_sim::{Propagation, SimScratch};
 
 /// Paper packet counts per location (Tables 5–6).
@@ -76,21 +77,64 @@ impl MultiRoomResult {
         ]
     }
 
+    /// The report blocks: all three tables with blank separators.
+    pub fn blocks(&self) -> Vec<Block> {
+        vec![
+            Block::Table(results_table(
+                "Table 5: Results of multi-room experiments",
+                &self.table5(),
+            )),
+            Block::Blank,
+            Block::Table(signal_table(
+                "Table 6: Signal metrics for multi-room experiment",
+                &self.table6(),
+            )),
+            Block::Blank,
+            Block::Table(signal_table(
+                "Table 7: Signal metrics for multi-room scenario Tx5",
+                &self.table7(),
+            )),
+        ]
+    }
+
     /// Renders all three tables.
     pub fn render(&self) -> String {
-        let mut out =
-            render_results_table("Table 5: Results of multi-room experiments", &self.table5());
-        out.push('\n');
-        out.push_str(&render_signal_table(
-            "Table 6: Signal metrics for multi-room experiment",
-            &self.table6(),
-        ));
-        out.push('\n');
-        out.push_str(&render_signal_table(
-            "Table 7: Signal metrics for multi-room scenario Tx5",
-            &self.table7(),
-        ));
-        out
+        render_blocks(&self.blocks())
+    }
+}
+
+/// Registry entry reproducing Tables 5–7 (one set of trials, three tables).
+pub struct Tables5To7;
+
+impl Experiment for Tables5To7 {
+    fn id(&self) -> u64 {
+        EXPERIMENT_ID
+    }
+
+    fn artifact_name(&self) -> &'static str {
+        "table5-7"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["table5", "table6", "table7"]
+    }
+
+    fn paper_artifact(&self) -> &'static str {
+        "Tables 5-7 (multi-room)"
+    }
+
+    fn packet_budget(&self, scale: Scale) -> u64 {
+        PAPER_PACKETS.iter().map(|&(_, p)| scale.packets(p)).sum()
+    }
+
+    fn run(&self, scale: Scale, seed: u64, exec: &Executor) -> Report {
+        let result = run_with(scale, seed, exec);
+        Report::new(
+            self.artifact_name(),
+            self.paper_artifact(),
+            self.packet_budget(scale),
+            result.blocks(),
+        )
     }
 }
 

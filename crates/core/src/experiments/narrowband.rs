@@ -14,8 +14,9 @@
 use super::common::{add_outsider_pair, expected_series, test_receiver, test_sender, Scale};
 use crate::calibration::{narrowband_phone, narrowband_power};
 use crate::executor::{trial_seed, Executor};
-use wavelan_analysis::report::{render_signal_table, SignalRow};
-use wavelan_analysis::{analyze, PacketClass, TraceAnalysis};
+use crate::registry::Experiment;
+use wavelan_analysis::report::{render_blocks, signal_table, SignalRow};
+use wavelan_analysis::{analyze, Block, PacketClass, Report, TraceAnalysis};
 use wavelan_sim::runner::attach_tx_count;
 use wavelan_sim::{Point, Propagation, ScenarioBuilder, SimScratch, StationConfig};
 
@@ -47,9 +48,9 @@ impl NarrowbandResult {
             .sum()
     }
 
-    /// Renders the Table 10 reproduction (test rows, plus outsider rows
-    /// where present).
-    pub fn render(&self) -> String {
+    /// The Table 10 report blocks (test rows, plus outsider rows where
+    /// present).
+    pub fn blocks(&self) -> Vec<Block> {
         let mut rows = Vec::new();
         for t in &self.trials {
             rows.push(SignalRow::new(
@@ -64,9 +65,45 @@ impl NarrowbandResult {
                 ));
             }
         }
-        render_signal_table(
+        vec![Block::Table(signal_table(
             "Table 10: The effects of narrowband 900 MHz cordless phones",
             &rows,
+        ))]
+    }
+
+    /// Renders the Table 10 reproduction.
+    pub fn render(&self) -> String {
+        render_blocks(&self.blocks())
+    }
+}
+
+/// Registry entry reproducing Table 10.
+pub struct Table10;
+
+impl Experiment for Table10 {
+    fn id(&self) -> u64 {
+        EXPERIMENT_ID
+    }
+
+    fn artifact_name(&self) -> &'static str {
+        "table10"
+    }
+
+    fn paper_artifact(&self) -> &'static str {
+        "Table 10 (narrowband phones)"
+    }
+
+    fn packet_budget(&self, scale: Scale) -> u64 {
+        5 * scale.packets(PAPER_PACKETS)
+    }
+
+    fn run(&self, scale: Scale, seed: u64, exec: &Executor) -> Report {
+        let result = run_with(scale, seed, exec);
+        Report::new(
+            self.artifact_name(),
+            self.paper_artifact(),
+            self.packet_budget(scale),
+            result.blocks(),
         )
     }
 }

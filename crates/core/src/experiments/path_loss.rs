@@ -10,10 +10,12 @@
 //! For each distance we run a short packet burst and record the min / mean /
 //! max *reported* level — the error bars of Figure 1.
 
-use super::common::PointTrial;
+use super::common::{PointTrial, Scale};
 use crate::executor::{trial_seed, Executor};
 use crate::layouts;
-use wavelan_analysis::SignalStats;
+use crate::registry::Experiment;
+use wavelan_analysis::report::{render_blocks, Cell, Column, Table};
+use wavelan_analysis::{Block, Report, SignalStats};
 use wavelan_sim::{Point, Propagation, SimScratch};
 
 /// This experiment's stream id for [`trial_seed`].
@@ -54,23 +56,75 @@ impl PathLossResult {
         dips
     }
 
-    /// Renders the Figure 1 series as `distance  min mean max` rows with a
-    /// crude ASCII bar.
+    /// The report blocks: `distance  min mean max` rows with a crude ASCII
+    /// bar, as one headerless table.
+    pub fn blocks(&self) -> Vec<Block> {
+        let table = Table {
+            heading: Some(
+                "Figure 1: Signal level as a function of distance (min/mean/max)".to_string(),
+            ),
+            columns: vec![
+                Column::new("distance_ft", "")
+                    .width(5)
+                    .precision(1)
+                    .sep("")
+                    .suffix(" ft"),
+                Column::new("min", "").width(2).sep("  "),
+                Column::new("mean", "").width(5).precision(2),
+                Column::new("max", "").width(2),
+                Column::new("bar", "").sep("  |"),
+            ],
+            rows: self
+                .samples
+                .iter()
+                .map(|s| {
+                    vec![
+                        Cell::Float(s.distance_ft),
+                        Cell::UInt(u64::from(s.level.min())),
+                        Cell::Float(s.level.mean()),
+                        Cell::UInt(u64::from(s.level.max())),
+                        Cell::Bar(s.level.mean().round().max(0.0) as u64),
+                    ]
+                })
+                .collect(),
+        };
+        vec![Block::Table(table)]
+    }
+
+    /// Renders the Figure 1 series.
     pub fn render(&self) -> String {
-        let mut out =
-            String::from("Figure 1: Signal level as a function of distance (min/mean/max)\n");
-        for s in &self.samples {
-            let bar = "#".repeat(s.level.mean().round().max(0.0) as usize);
-            out.push_str(&format!(
-                "{:>5.1} ft  {:>2} {:>5.2} {:>2}  |{}\n",
-                s.distance_ft,
-                s.level.min(),
-                s.level.mean(),
-                s.level.max(),
-                bar
-            ));
-        }
-        out
+        render_blocks(&self.blocks())
+    }
+}
+
+/// Registry entry reproducing Figure 1.
+pub struct Figure1;
+
+impl Experiment for Figure1 {
+    fn id(&self) -> u64 {
+        EXPERIMENT_ID
+    }
+
+    fn artifact_name(&self) -> &'static str {
+        "figure1"
+    }
+
+    fn paper_artifact(&self) -> &'static str {
+        "Figure 1 (level vs distance)"
+    }
+
+    fn packet_budget(&self, scale: Scale) -> u64 {
+        31 * scale.packets(1_440)
+    }
+
+    fn run(&self, scale: Scale, seed: u64, exec: &Executor) -> Report {
+        let result = run_with(&[], scale.packets(1_440), seed, exec);
+        Report::new(
+            self.artifact_name(),
+            self.paper_artifact(),
+            self.packet_budget(scale),
+            result.blocks(),
+        )
     }
 }
 

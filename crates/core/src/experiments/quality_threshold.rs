@@ -12,7 +12,9 @@
 use super::common::{expected_series, test_receiver, test_sender, Scale};
 use crate::calibration;
 use crate::executor::{trial_seed, Executor};
-use wavelan_analysis::{analyze, PacketClass};
+use crate::registry::Experiment;
+use wavelan_analysis::report::{render_blocks, Cell, Column, Table};
+use wavelan_analysis::{analyze, Block, PacketClass, Report};
 use wavelan_mac::Thresholds;
 use wavelan_sim::runner::attach_tx_count;
 use wavelan_sim::{Point, Propagation, ScenarioBuilder, SimScratch, StationConfig};
@@ -50,32 +52,87 @@ pub struct QualityThresholdResult {
 }
 
 impl QualityThresholdResult {
+    /// The report blocks: the trade-off table plus the closing note.
+    pub fn blocks(&self) -> Vec<Block> {
+        let table = Table {
+            heading: Some(String::from("AT&T-handset interference trial:")),
+            columns: vec![
+                Column::new("qthresh", "qthresh").width(7).sep(""),
+                Column::new("delivered", "delivered").width(10),
+                Column::new("damaged", "damaged").width(8),
+                Column::new("trunc", "trunc").width(6),
+                Column::new("damaged_pct", "damaged%")
+                    .width(8)
+                    .precision(1)
+                    .suffix("%")
+                    .header_width(9),
+                Column::new("filtered", "filtered").width(9),
+            ],
+            rows: self
+                .samples
+                .iter()
+                .map(|s| {
+                    vec![
+                        Cell::UInt(u64::from(s.threshold)),
+                        Cell::UInt(s.delivered as u64),
+                        Cell::UInt(s.damaged_delivered as u64),
+                        Cell::UInt(s.truncated_delivered as u64),
+                        Cell::Float(s.damage_fraction() * 100.0),
+                        Cell::UInt(s.filtered),
+                    ]
+                })
+                .collect(),
+        };
+        vec![
+            Block::Note(String::from(
+                "The quality threshold the paper left unused (footnote 1), on the",
+            )),
+            Block::Table(table),
+            Block::Blank,
+            Block::Note(String::from(
+                "Raising the threshold trades damaged deliveries for silent loss — but\n\
+                 only for damage the early quality sample can *see*. Bursts that start\n\
+                 after the sample corrupt or truncate the packet anyway, so a sizable\n\
+                 damaged fraction escapes even at quality 15. The quality threshold is\n\
+                 a partial tool, which may be why the paper left it unused.",
+            )),
+        ]
+    }
+
     /// Renders the trade-off table.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "The quality threshold the paper left unused (footnote 1), on the\n\
-             AT&T-handset interference trial:\n\
-             qthresh  delivered  damaged  trunc  damaged%  filtered\n",
-        );
-        for s in &self.samples {
-            out.push_str(&format!(
-                "{:>7} {:>10} {:>8} {:>6} {:>8.1}% {:>9}\n",
-                s.threshold,
-                s.delivered,
-                s.damaged_delivered,
-                s.truncated_delivered,
-                s.damage_fraction() * 100.0,
-                s.filtered
-            ));
-        }
-        out.push_str(
-            "\nRaising the threshold trades damaged deliveries for silent loss — but\n\
-             only for damage the early quality sample can *see*. Bursts that start\n\
-             after the sample corrupt or truncate the packet anyway, so a sizable\n\
-             damaged fraction escapes even at quality 15. The quality threshold is\n\
-             a partial tool, which may be why the paper left it unused.\n",
-        );
-        out
+        render_blocks(&self.blocks())
+    }
+}
+
+/// Registry entry for the footnote-1 quality-threshold sweep.
+pub struct QualityThreshold;
+
+impl Experiment for QualityThreshold {
+    fn id(&self) -> u64 {
+        EXPERIMENT_ID
+    }
+
+    fn artifact_name(&self) -> &'static str {
+        "quality-threshold"
+    }
+
+    fn paper_artifact(&self) -> &'static str {
+        "Footnote 1 (quality threshold)"
+    }
+
+    fn packet_budget(&self, scale: Scale) -> u64 {
+        5 * scale.packets(1_440)
+    }
+
+    fn run(&self, scale: Scale, seed: u64, exec: &Executor) -> Report {
+        let result = run_with(scale, seed, exec);
+        Report::new(
+            self.artifact_name(),
+            self.paper_artifact(),
+            self.packet_budget(scale),
+            result.blocks(),
+        )
     }
 }
 

@@ -15,9 +15,11 @@
 //! edge plus an aggressive close reflector whose ripple swings the level
 //! across the error boundary as the transmitter moves.
 
-use super::common::{expected_series, test_receiver, test_sender};
+use super::common::{expected_series, test_receiver, test_sender, Scale};
 use crate::executor::{trial_seed, Executor};
-use wavelan_analysis::{analyze, PacketClass};
+use crate::registry::Experiment;
+use wavelan_analysis::report::{render_blocks, Cell, Column, Table};
+use wavelan_analysis::{analyze, Block, PacketClass, Report};
 use wavelan_phy::fading::TwoRay;
 use wavelan_sim::runner::attach_tx_count;
 use wavelan_sim::{FloorPlan, Point, Propagation, ScenarioBuilder, SimScratch, StationConfig};
@@ -67,25 +69,88 @@ impl RelatedWorkResult {
         })
     }
 
+    /// The report blocks: the headline note plus one table per regime.
+    pub fn blocks(&self) -> Vec<Block> {
+        let mut blocks = vec![Block::Note(String::from(
+            "Duchamp & Reynolds (LCN '92) regimes, reproduced (paper Section 9.1)",
+        ))];
+        for (name, series) in [("typical", &self.benign), ("difficult", &self.difficult)] {
+            blocks.push(Block::Blank);
+            blocks.push(Block::Table(Table {
+                heading: Some(format!("{name} environment:")),
+                columns: vec![
+                    Column::new("distance_ft", "dist")
+                        .width(5)
+                        .sep("")
+                        .suffix("ft")
+                        .header_width(6),
+                    Column::new("level", "level")
+                        .width(6)
+                        .precision(1)
+                        .header_width(7),
+                    Column::new("loss_pct", "loss%").width(7).precision(2),
+                    Column::new("corrupt_pct", "corrupt%")
+                        .width(8)
+                        .precision(2)
+                        .header_width(9),
+                ],
+                rows: series
+                    .iter()
+                    .map(|s| {
+                        vec![
+                            Cell::Float(s.distance_ft),
+                            Cell::Float(s.mean_level),
+                            Cell::Float(s.loss * 100.0),
+                            Cell::Float(s.corruption * 100.0),
+                        ]
+                    })
+                    .collect(),
+            }));
+        }
+        blocks
+    }
+
     /// Renders both sweeps.
     pub fn render(&self) -> String {
-        let mut out =
-            String::from("Duchamp & Reynolds (LCN '92) regimes, reproduced (paper Section 9.1)\n");
-        for (name, series) in [("typical", &self.benign), ("difficult", &self.difficult)] {
-            out.push_str(&format!(
-                "\n{name} environment:\n  dist   level   loss%  corrupt%\n"
-            ));
-            for s in series {
-                out.push_str(&format!(
-                    "{:>5.0}ft {:>6.1} {:>7.2} {:>8.2}\n",
-                    s.distance_ft,
-                    s.mean_level,
-                    s.loss * 100.0,
-                    s.corruption * 100.0
-                ));
-            }
-        }
-        out
+        render_blocks(&self.blocks())
+    }
+}
+
+/// Registry entry reproducing the Section 9.1 baseline study.
+pub struct RelatedWork;
+
+impl RelatedWork {
+    /// Packets per distance point (their runs were short; cap at 800).
+    fn per_point(scale: Scale) -> u64 {
+        scale.packets(1_440).min(800)
+    }
+}
+
+impl Experiment for RelatedWork {
+    fn id(&self) -> u64 {
+        EXPERIMENT_ID
+    }
+
+    fn artifact_name(&self) -> &'static str {
+        "related-work"
+    }
+
+    fn paper_artifact(&self) -> &'static str {
+        "Section 9.1 (Duchamp & Reynolds)"
+    }
+
+    fn packet_budget(&self, scale: Scale) -> u64 {
+        16 * Self::per_point(scale)
+    }
+
+    fn run(&self, scale: Scale, seed: u64, exec: &Executor) -> Report {
+        let result = run_with(Self::per_point(scale), seed, exec);
+        Report::new(
+            self.artifact_name(),
+            self.paper_artifact(),
+            self.packet_budget(scale),
+            result.blocks(),
+        )
     }
 }
 

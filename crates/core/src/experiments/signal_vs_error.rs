@@ -13,8 +13,9 @@
 
 use super::common::{add_outsider_pair, expected_series, test_receiver, test_sender, Scale};
 use crate::executor::{trial_seed, Executor};
-use wavelan_analysis::report::{render_signal_table, SignalRow};
-use wavelan_analysis::{analyze, PacketClass, TraceAnalysis};
+use crate::registry::Experiment;
+use wavelan_analysis::report::{render_blocks, signal_table, Cell, Column, SignalRow, Table};
+use wavelan_analysis::{analyze, Block, PacketClass, Report, TraceAnalysis};
 use wavelan_sim::runner::attach_tx_count;
 use wavelan_sim::{Point, ScenarioBuilder, SimScratch, StationConfig};
 
@@ -81,35 +82,128 @@ impl SignalVsErrorResult {
         ]
     }
 
-    /// Renders the Table 3 reproduction.
-    pub fn render_table3(&self) -> String {
-        render_signal_table(
+    /// The Table 3 report blocks.
+    pub fn blocks_table3(&self) -> Vec<Block> {
+        vec![Block::Table(signal_table(
             "Table 3: Packet error conditions versus signal metrics",
             &self.table3_rows(),
-        )
+        ))]
+    }
+
+    /// The Figure 2 report blocks.
+    pub fn blocks_figure2(&self) -> Vec<Block> {
+        let table = Table {
+            heading: Some(
+                "Figure 2: Signal level vs distance with the error region (level < 8)".to_string(),
+            ),
+            columns: vec![
+                Column::new("distance_ft", "distance")
+                    .width(7)
+                    .sep("")
+                    .suffix("ft"),
+                Column::new("level", "level").width(6).precision(2),
+                Column::new("loss_pct", "loss%").width(6).precision(2),
+                Column::new("damaged_pct", "damaged%")
+                    .width(8)
+                    .precision(2)
+                    .header_width(9),
+                Column::new("region", "region").sep("  "),
+            ],
+            rows: self
+                .positions
+                .iter()
+                .map(|p| {
+                    vec![
+                        Cell::Float(p.distance_ft),
+                        Cell::Float(p.mean_level),
+                        Cell::Float(p.loss * 100.0),
+                        Cell::Float(p.damaged_fraction * 100.0),
+                        Cell::from(if p.mean_level < ERROR_REGION_LEVEL {
+                            "ERROR"
+                        } else {
+                            "ok"
+                        }),
+                    ]
+                })
+                .collect(),
+        };
+        vec![Block::Table(table)]
+    }
+
+    /// Renders the Table 3 reproduction.
+    pub fn render_table3(&self) -> String {
+        render_blocks(&self.blocks_table3())
     }
 
     /// Renders the Figure 2 series.
     pub fn render_figure2(&self) -> String {
-        let mut out = String::from(
-            "Figure 2: Signal level vs distance with the error region (level < 8)\n\
-             distance  level  loss%  damaged%  region\n",
-        );
-        for p in &self.positions {
-            out.push_str(&format!(
-                "{:>7.0}ft {:>6.2} {:>6.2} {:>8.2}  {}\n",
-                p.distance_ft,
-                p.mean_level,
-                p.loss * 100.0,
-                p.damaged_fraction * 100.0,
-                if p.mean_level < ERROR_REGION_LEVEL {
-                    "ERROR"
-                } else {
-                    "ok"
-                }
-            ));
-        }
-        out
+        render_blocks(&self.blocks_figure2())
+    }
+}
+
+/// Registry entry reproducing Table 3 (shares trials with [`Figure2`]).
+pub struct Table3;
+
+/// Registry entry reproducing Figure 2 (shares trials with [`Table3`]).
+pub struct Figure2;
+
+fn budget(scale: Scale) -> u64 {
+    POSITION_LADDER_FT.len() as u64 * scale.packets(8_634 / POSITION_LADDER_FT.len() as u64)
+}
+
+impl Experiment for Table3 {
+    fn id(&self) -> u64 {
+        EXPERIMENT_ID
+    }
+
+    fn artifact_name(&self) -> &'static str {
+        "table3"
+    }
+
+    fn paper_artifact(&self) -> &'static str {
+        "Table 3 (error conditions vs signal)"
+    }
+
+    fn packet_budget(&self, scale: Scale) -> u64 {
+        budget(scale)
+    }
+
+    fn run(&self, scale: Scale, seed: u64, exec: &Executor) -> Report {
+        let result = run_with(scale, seed, exec);
+        Report::new(
+            self.artifact_name(),
+            self.paper_artifact(),
+            self.packet_budget(scale),
+            result.blocks_table3(),
+        )
+    }
+}
+
+impl Experiment for Figure2 {
+    fn id(&self) -> u64 {
+        EXPERIMENT_ID
+    }
+
+    fn artifact_name(&self) -> &'static str {
+        "figure2"
+    }
+
+    fn paper_artifact(&self) -> &'static str {
+        "Figure 2 (level vs distance, error region)"
+    }
+
+    fn packet_budget(&self, scale: Scale) -> u64 {
+        budget(scale)
+    }
+
+    fn run(&self, scale: Scale, seed: u64, exec: &Executor) -> Report {
+        let result = run_with(scale, seed, exec);
+        Report::new(
+            self.artifact_name(),
+            self.paper_artifact(),
+            self.packet_budget(scale),
+            result.blocks_figure2(),
+        )
     }
 }
 

@@ -17,8 +17,9 @@
 use super::common::{add_outsider_pair, expected_series, test_receiver, test_sender, Scale};
 use crate::calibration;
 use crate::executor::{trial_seed, Executor};
-use wavelan_analysis::report::{render_results_table, render_signal_table, SignalRow};
-use wavelan_analysis::{analyze, PacketClass, TraceAnalysis, TrialSummary};
+use crate::registry::Experiment;
+use wavelan_analysis::report::{render_blocks, results_table, signal_table, SignalRow};
+use wavelan_analysis::{analyze, Block, PacketClass, Report, TraceAnalysis, TrialSummary};
 use wavelan_sim::runner::attach_tx_count;
 use wavelan_sim::{AmbientSource, Point, Propagation, ScenarioBuilder, SimScratch, StationConfig};
 
@@ -142,23 +143,64 @@ impl SsPhoneResult {
         ]
     }
 
+    /// The report blocks: all three tables with blank separators.
+    pub fn blocks(&self) -> Vec<Block> {
+        vec![
+            Block::Table(results_table(
+                "Table 11: Summary of spread spectrum cordless phones",
+                &self.table11(),
+            )),
+            Block::Blank,
+            Block::Table(signal_table(
+                "Table 12: Signal measurements for spread spectrum phones",
+                &self.table12(),
+            )),
+            Block::Blank,
+            Block::Table(signal_table(
+                "Table 13: Signal breakdown for spread spectrum phone test packets",
+                &self.table13(),
+            )),
+        ]
+    }
+
     /// Renders all three tables.
     pub fn render(&self) -> String {
-        let mut out = render_results_table(
-            "Table 11: Summary of spread spectrum cordless phones",
-            &self.table11(),
-        );
-        out.push('\n');
-        out.push_str(&render_signal_table(
-            "Table 12: Signal measurements for spread spectrum phones",
-            &self.table12(),
-        ));
-        out.push('\n');
-        out.push_str(&render_signal_table(
-            "Table 13: Signal breakdown for spread spectrum phone test packets",
-            &self.table13(),
-        ));
-        out
+        render_blocks(&self.blocks())
+    }
+}
+
+/// Registry entry reproducing Tables 11–13.
+pub struct Tables11To13;
+
+impl Experiment for Tables11To13 {
+    fn id(&self) -> u64 {
+        EXPERIMENT_ID
+    }
+
+    fn artifact_name(&self) -> &'static str {
+        "table11-13"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["table11", "table12", "table13"]
+    }
+
+    fn paper_artifact(&self) -> &'static str {
+        "Tables 11-13 (spread-spectrum phones)"
+    }
+
+    fn packet_budget(&self, scale: Scale) -> u64 {
+        6 * scale.packets(PAPER_PACKETS)
+    }
+
+    fn run(&self, scale: Scale, seed: u64, exec: &Executor) -> Report {
+        let result = run_with(scale, seed, exec);
+        Report::new(
+            self.artifact_name(),
+            self.paper_artifact(),
+            self.packet_budget(scale),
+            result.blocks(),
+        )
     }
 }
 

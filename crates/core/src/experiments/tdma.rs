@@ -11,9 +11,13 @@
 //! the two MACs on aggregate throughput and Jain fairness, using the
 //! slot-level shootout in `wavelan-mac::tdma`.
 
+use super::common::Scale;
 use crate::executor::{trial_seed, Executor};
+use crate::registry::Experiment;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use wavelan_analysis::report::{render_blocks, Cell, Column, Table};
+use wavelan_analysis::{Block, Report};
 use wavelan_mac::tdma::{compare_with_csma, MacComparison};
 
 /// This experiment's stream id for [`trial_seed`].
@@ -49,30 +53,100 @@ impl TdmaResult {
             .map(|s| s.offered_load)
     }
 
+    /// The report blocks: the sweep table, plus the crossover note if one
+    /// exists.
+    pub fn blocks(&self) -> Vec<Block> {
+        let table = Table {
+            heading: Some(format!(
+                "CSMA/CA vs reservation TDMA, {} stations (paper Section 1's argument)",
+                self.stations
+            )),
+            columns: vec![
+                Column::new("offered_pct", "offered")
+                    .width(6)
+                    .sep("")
+                    .suffix("%")
+                    .header_width(7),
+                Column::new("csma_throughput_pct", "csma thru")
+                    .width(10)
+                    .precision(1)
+                    .suffix("%")
+                    .header_width(11),
+                Column::new("tdma_throughput_pct", "tdma thru")
+                    .width(9)
+                    .precision(1)
+                    .suffix("%")
+                    .header_width(10),
+                Column::new("csma_fairness", "csma fair").width(10).precision(3),
+                Column::new("tdma_fairness", "tdma fair").width(10).precision(3),
+            ],
+            rows: self
+                .samples
+                .iter()
+                .map(|s| {
+                    vec![
+                        Cell::Float(s.offered_load * 100.0),
+                        Cell::Float(s.comparison.csma_throughput * 100.0),
+                        Cell::Float(s.comparison.tdma_throughput * 100.0),
+                        Cell::Float(s.comparison.csma_fairness),
+                        Cell::Float(s.comparison.tdma_fairness),
+                    ]
+                })
+                .collect(),
+        };
+        let mut blocks = vec![Block::Table(table)];
+        if let Some(load) = self.crossover_load() {
+            blocks.push(Block::Blank);
+            blocks.push(Block::Note(format!(
+                "reservation TDMA pulls decisively ahead from ≈{:.0}% offered load",
+                load * 100.0
+            )));
+        }
+        blocks
+    }
+
     /// Renders the sweep.
     pub fn render(&self) -> String {
-        let mut out = format!(
-            "CSMA/CA vs reservation TDMA, {} stations (paper Section 1's argument)\n\
-             offered   csma thru  tdma thru  csma fair  tdma fair\n",
-            self.stations
-        );
-        for s in &self.samples {
-            out.push_str(&format!(
-                "{:>6.0}% {:>10.1}% {:>9.1}% {:>10.3} {:>10.3}\n",
-                s.offered_load * 100.0,
-                s.comparison.csma_throughput * 100.0,
-                s.comparison.tdma_throughput * 100.0,
-                s.comparison.csma_fairness,
-                s.comparison.tdma_fairness,
-            ));
-        }
-        if let Some(load) = self.crossover_load() {
-            out.push_str(&format!(
-                "\nreservation TDMA pulls decisively ahead from ≈{:.0}% offered load\n",
-                load * 100.0
-            ));
-        }
-        out
+        render_blocks(&self.blocks())
+    }
+}
+
+/// Stations in the registry configuration of the sweep.
+const REGISTRY_STATIONS: usize = 8;
+
+/// Frames per load point in the registry configuration.
+const REGISTRY_FRAMES: usize = 500;
+
+/// Registry entry for the Section 1 MAC argument.
+pub struct Tdma;
+
+impl Experiment for Tdma {
+    fn id(&self) -> u64 {
+        EXPERIMENT_ID
+    }
+
+    fn artifact_name(&self) -> &'static str {
+        "tdma"
+    }
+
+    fn paper_artifact(&self) -> &'static str {
+        "Section 1 (TDMA argument)"
+    }
+
+    fn packet_budget(&self, _scale: Scale) -> u64 {
+        // Slot-level shootout: 8 load points × frames × slots, not packets
+        // through the radio sim; the budget reports the slot count.
+        (REGISTRY_STATIONS * REGISTRY_FRAMES * 16) as u64
+    }
+
+    fn run(&self, _scale: Scale, seed: u64, exec: &Executor) -> Report {
+        let result = run_with(REGISTRY_STATIONS, REGISTRY_FRAMES, seed, exec);
+        Report::new(
+            self.artifact_name(),
+            self.paper_artifact(),
+            self.packet_budget(_scale),
+            result.blocks(),
+        )
     }
 }
 

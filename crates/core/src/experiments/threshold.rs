@@ -15,9 +15,12 @@
 //! tests: "the receive threshold ... seems to cleanly filter packets" — no
 //! damaged packets appear, they simply vanish.
 
-use super::common::{expected_series, test_receiver, test_sender};
+use super::common::{expected_series, test_receiver, test_sender, Scale};
 use crate::executor::{trial_seed, Executor};
+use crate::registry::Experiment;
 use wavelan_analysis::analyze;
+use wavelan_analysis::report::{render_blocks, Cell, Column, Table};
+use wavelan_analysis::{Block, Report};
 use wavelan_mac::Thresholds;
 use wavelan_sim::runner::attach_tx_count;
 use wavelan_sim::station::Traffic;
@@ -47,20 +50,69 @@ pub struct ThresholdResult {
 }
 
 impl ThresholdResult {
+    /// The Figure 3 report blocks.
+    pub fn blocks(&self) -> Vec<Block> {
+        let table = Table {
+            heading: Some(format!(
+                "Figure 3: Effects of receive threshold (signal window {}..{})",
+                self.signal_window.0, self.signal_window.1
+            )),
+            columns: vec![
+                Column::new("threshold", "threshold").width(9).sep(""),
+                Column::new("filtered_pct", "filtered%").width(10).precision(1),
+                Column::new("collision_free_pct", "collision-free%")
+                    .width(16)
+                    .precision(1),
+            ],
+            rows: self
+                .samples
+                .iter()
+                .map(|s| {
+                    vec![
+                        Cell::UInt(u64::from(s.threshold)),
+                        Cell::Float(s.filtered_pct),
+                        Cell::Float(s.collision_free_pct),
+                    ]
+                })
+                .collect(),
+        };
+        vec![Block::Table(table)]
+    }
+
     /// Renders the Figure 3 series.
     pub fn render(&self) -> String {
-        let mut out = format!(
-            "Figure 3: Effects of receive threshold (signal window {}..{})\n\
-             threshold  filtered%  collision-free%\n",
-            self.signal_window.0, self.signal_window.1
-        );
-        for s in &self.samples {
-            out.push_str(&format!(
-                "{:>9} {:>10.1} {:>16.1}\n",
-                s.threshold, s.filtered_pct, s.collision_free_pct
-            ));
-        }
-        out
+        render_blocks(&self.blocks())
+    }
+}
+
+/// Registry entry reproducing Figure 3.
+pub struct Figure3;
+
+impl Experiment for Figure3 {
+    fn id(&self) -> u64 {
+        EXPERIMENT_ID
+    }
+
+    fn artifact_name(&self) -> &'static str {
+        "figure3"
+    }
+
+    fn paper_artifact(&self) -> &'static str {
+        "Figure 3 (receive threshold)"
+    }
+
+    fn packet_budget(&self, scale: Scale) -> u64 {
+        13 * scale.packets(1_440)
+    }
+
+    fn run(&self, scale: Scale, seed: u64, exec: &Executor) -> Report {
+        let result = run_with(&[], scale.packets(1_440), seed, exec);
+        Report::new(
+            self.artifact_name(),
+            self.paper_artifact(),
+            self.packet_budget(scale),
+            result.blocks(),
+        )
     }
 }
 

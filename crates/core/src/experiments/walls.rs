@@ -12,8 +12,9 @@
 use super::common::{PointTrial, Scale};
 use crate::executor::{trial_seed, Executor};
 use crate::layouts;
-use wavelan_analysis::report::{render_signal_table, SignalRow};
-use wavelan_analysis::TraceAnalysis;
+use crate::registry::Experiment;
+use wavelan_analysis::report::{render_blocks, signal_table, SignalRow};
+use wavelan_analysis::{Block, Report, TraceAnalysis};
 use wavelan_phy::Material;
 use wavelan_sim::{Propagation, SimScratch};
 
@@ -61,14 +62,53 @@ impl WallsResult {
         self.mean_level("Air 2") - self.mean_level("Wall 2")
     }
 
-    /// Renders the Table 4 reproduction.
-    pub fn render(&self) -> String {
+    /// The Table 4 report blocks.
+    pub fn blocks(&self) -> Vec<Block> {
         let rows: Vec<SignalRow> = self
             .trials
             .iter()
             .map(|t| SignalRow::new(t.name, t.analysis.stats_where(|p| p.is_test)))
             .collect();
-        render_signal_table("Table 4: Signal metrics with a single wall", &rows)
+        vec![Block::Table(signal_table(
+            "Table 4: Signal metrics with a single wall",
+            &rows,
+        ))]
+    }
+
+    /// Renders the Table 4 reproduction.
+    pub fn render(&self) -> String {
+        render_blocks(&self.blocks())
+    }
+}
+
+/// Registry entry reproducing Table 4.
+pub struct Table4;
+
+impl Experiment for Table4 {
+    fn id(&self) -> u64 {
+        EXPERIMENT_ID
+    }
+
+    fn artifact_name(&self) -> &'static str {
+        "table4"
+    }
+
+    fn paper_artifact(&self) -> &'static str {
+        "Table 4 (single wall)"
+    }
+
+    fn packet_budget(&self, scale: Scale) -> u64 {
+        4 * scale.packets(PAPER_PACKETS)
+    }
+
+    fn run(&self, scale: Scale, seed: u64, exec: &Executor) -> Report {
+        let result = run_with(scale, seed, exec);
+        Report::new(
+            self.artifact_name(),
+            self.paper_artifact(),
+            self.packet_budget(scale),
+            result.blocks(),
+        )
     }
 }
 

@@ -25,6 +25,15 @@
 //! | Tables 11–13 (spread-spectrum phones) | [`experiments::ss_phone`] |
 //! | Table 14 (competing WaveLAN) | [`experiments::competing`] |
 //! | Section 8 conjecture (variable FEC) | [`experiments::adaptive_fec`] |
+//! | Sections 8/9.4 (hybrid ARQ) | [`experiments::harq`] |
+//! | Section 9.1 (Duchamp & Reynolds) | [`experiments::related_work`] |
+//! | Section 1 (TDMA argument) | [`experiments::tdma`] |
+//! | Footnote 1 (quality threshold) | [`experiments::quality_threshold`] |
+//! | Section 7.4 (roaming/border zone) | [`experiments::roaming`] |
+//! | Section 7.4 (hidden terminals) | [`experiments::hidden_terminal`] |
+//!
+//! Every module's experiment is also registered in [`registry`], which is
+//! how the bench crate and the `repro` binary enumerate and dispatch them.
 //!
 //! [`calibration`] documents every constant that ties the simulator to a
 //! number in the paper; [`layouts`] holds the floor plans.
@@ -33,6 +42,8 @@ pub mod calibration;
 pub mod executor;
 pub mod experiments;
 pub mod layouts;
+pub mod registry;
 
 pub use executor::{trial_seed, Executor};
 pub use experiments::common::Scale;
+pub use registry::{find, Experiment, NAMES, REGISTRY};

@@ -1,0 +1,94 @@
+//! Golden-output regression for the JSON format: the full
+//! `repro --scale smoke --seed 1996 --format json` document, serialized
+//! in-process through the same serde path the binary uses, must match the
+//! committed golden file byte for byte — and parse back as valid JSON.
+//!
+//! Regenerate after an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_repro_json
+//! git diff tests/golden/repro_smoke.json   # review what moved, then commit
+//! ```
+
+use std::path::PathBuf;
+use wavelan_analysis::json::{parse, to_string_pretty, Value};
+use wavelan_bench::{run_report, RunDocument, ARTIFACTS};
+use wavelan_core::{Executor, Scale};
+
+const SEED: u64 = 1996;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("repro_smoke.json")
+}
+
+/// Serializes every artifact exactly as `repro --format json` prints.
+fn render_document() -> String {
+    let exec = Executor::default();
+    let scale = Scale::Smoke;
+    let doc = RunDocument {
+        scale: scale.name(),
+        seed: SEED,
+        artifacts: ARTIFACTS
+            .iter()
+            .map(|name| run_report(name, scale, SEED, &exec).expect("known artifact"))
+            .collect(),
+    };
+    to_string_pretty(&doc)
+}
+
+#[test]
+fn smoke_json_matches_golden_and_parses() {
+    let rendered = render_document();
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &rendered).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    if rendered != golden {
+        for (i, (r, g)) in rendered.lines().zip(golden.lines()).enumerate() {
+            assert_eq!(
+                r,
+                g,
+                "JSON document diverges from {} at line {} — if intentional, \
+                 regenerate with UPDATE_GOLDEN=1",
+                path.display(),
+                i + 1
+            );
+        }
+        panic!(
+            "JSON document length changed ({} vs {} lines) — if intentional, \
+             regenerate with UPDATE_GOLDEN=1",
+            rendered.lines().count(),
+            golden.lines().count()
+        );
+    }
+
+    // The document round-trips through the parser: it is valid JSON and
+    // carries the run parameters and one report per artifact.
+    let value = parse(&rendered).expect("document parses");
+    match value.get("scale") {
+        Some(Value::Str(s)) => assert_eq!(s, "smoke"),
+        other => panic!("scale field missing or wrong type: {other:?}"),
+    }
+    match value.get("artifacts") {
+        Some(Value::Array(reports)) => {
+            assert_eq!(reports.len(), ARTIFACTS.len());
+            for (report, name) in reports.iter().zip(ARTIFACTS) {
+                match report.get("artifact") {
+                    Some(Value::Str(s)) => assert_eq!(s, name),
+                    other => panic!("artifact field missing: {other:?}"),
+                }
+            }
+        }
+        other => panic!("artifacts field missing or wrong type: {other:?}"),
+    }
+}

@@ -3,10 +3,26 @@
 
 //! Offline stand-in for `serde`.
 //!
-//! This workspace only uses serde as derive decoration (`wavelan-sim`'s
-//! trace/floorplan/geometry types); the actual persistence format is
-//! hand-rolled in `wavelan-sim::tracefile`. The stand-in re-exports no-op
-//! [`Serialize`]/[`Deserialize`] derives so those annotations keep
-//! compiling with the registry offline.
+//! Two halves, matching how the workspace uses serde:
+//!
+//! * **No-op derives** — `wavelan-sim`'s trace/floorplan/geometry types are
+//!   decorated with `#[derive(Serialize, Deserialize)]`, but their actual
+//!   persistence format is hand-rolled in `wavelan-sim::tracefile`. The
+//!   re-exported derives expand to nothing, so those annotations keep
+//!   compiling with the registry offline.
+//! * **A functional `ser` half** — `wavelan-analysis::report` serializes
+//!   structured [`Report`](../wavelan_analysis/report/struct.Report.html)
+//!   values through the real [`Serialize`]/[`Serializer`] trait pair defined
+//!   here, with `wavelan-analysis::json` providing the JSON `Serializer`.
+//!   The trait surface is the subset of serde's data model the workspace
+//!   needs (primitives, strings, options, sequences, maps, structs);
+//!   implementations are hand-written, not derived.
+//!
+//! The derive macros and the traits share their names, as in real serde —
+//! macros and types live in different namespaces, so both resolve.
 
 pub use serde_derive::{Deserialize, Serialize};
+
+pub mod ser;
+
+pub use ser::{Serialize, SerializeMap, SerializeSeq, SerializeStruct, Serializer};
