@@ -20,3 +20,8 @@ else
     # committed tests/golden/repro_smoke.json proves it parses.
     cmp REPRO_SMOKE.json tests/golden/repro_smoke.json
 fi
+# Paper-fidelity gate: every Table 2-14 / Figure 1-3 expectation must be
+# within tolerance (exit 1 on any fail verdict), and the report must parse
+# with the vendored JSON parser.
+cargo run --release -p wavelan-bench --bin repro -- --validate --scale smoke --format json > FIDELITY.json
+cargo run --release -p wavelan-bench --bin repro -- --check-json FIDELITY.json

@@ -262,9 +262,18 @@ impl Serialize for Value {
             Value::Null => serializer.serialize_unit(),
             Value::Bool(b) => serializer.serialize_bool(*b),
             Value::Number(lexeme) => {
+                // The integer paths must reproduce the lexeme exactly or
+                // defer to the float path: `-0` parses as i64 0, which
+                // would re-serialize as `0` and break the byte-exact round
+                // trip of this writer's own `-0.0` output (`f64` keeps the
+                // sign: `"-0"` → -0.0 → `"-0"`).
                 if let Ok(v) = lexeme.parse::<u64>() {
                     serializer.serialize_u64(v)
-                } else if let Ok(v) = lexeme.parse::<i64>() {
+                } else if let Some(v) = lexeme
+                    .parse::<i64>()
+                    .ok()
+                    .filter(|v| v.to_string() == *lexeme)
+                {
                     serializer.serialize_i64(v)
                 } else {
                     serializer.serialize_f64(lexeme.parse::<f64>().unwrap_or(f64::NAN))

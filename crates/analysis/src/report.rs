@@ -207,6 +207,55 @@ impl Cell {
     }
 }
 
+/// One field of a [`StatsCell`], for numeric extraction from signal-metrics
+/// columns (see [`Cell::stat`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatField {
+    /// The minimum.
+    Min,
+    /// The mean.
+    Mean,
+    /// The standard deviation.
+    Sd,
+    /// The maximum.
+    Max,
+}
+
+impl Cell {
+    /// The cell's numeric value, if it has one. [`Cell::Stats`] has four —
+    /// use [`Cell::stat`]; [`Cell::Str`] has none.
+    pub fn number(&self) -> Option<f64> {
+        match self {
+            Cell::Str(_) | Cell::Stats(_) => None,
+            Cell::UInt(v) | Cell::Bar(v) | Cell::PowerOfTen(v) | Cell::DashIfZero(v) => {
+                Some(*v as f64)
+            }
+            Cell::Float(v) | Cell::LossPercent(v) => Some(*v),
+        }
+    }
+
+    /// One field of a [`Cell::Stats`] quadruple.
+    pub fn stat(&self, field: StatField) -> Option<f64> {
+        match self {
+            Cell::Stats(s) => Some(match field {
+                StatField::Min => f64::from(s.min),
+                StatField::Mean => s.mean,
+                StatField::Sd => s.sd,
+                StatField::Max => f64::from(s.max),
+            }),
+            _ => None,
+        }
+    }
+
+    /// The row label this cell contributes, if it is textual.
+    pub fn label(&self) -> Option<&str> {
+        match self {
+            Cell::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
 impl From<&str> for Cell {
     fn from(s: &str) -> Cell {
         Cell::Str(s.to_string())
@@ -257,6 +306,25 @@ fn pad(text: &str, width: usize, align: Align) -> String {
 }
 
 impl Table {
+    /// Index of the column with the given machine-readable name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// The first row whose first cell is the given text label (trimmed —
+    /// some layouts indent sub-rows like `  Outsiders`).
+    pub fn row_by_label(&self, label: &str) -> Option<&[Cell]> {
+        self.rows
+            .iter()
+            .find(|r| {
+                r.first()
+                    .and_then(Cell::label)
+                    .map(str::trim)
+                    .is_some_and(|l| l == label.trim())
+            })
+            .map(Vec::as_slice)
+    }
+
     /// Renders the heading, header line (if any column has one) and rows.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -375,6 +443,21 @@ impl Report {
     /// Renders the report to the exact text the paper-style tables use.
     pub fn render(&self) -> String {
         render_blocks(&self.blocks)
+    }
+
+    /// All table blocks, in render order.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.blocks.iter().filter_map(|b| match b {
+            Block::Table(t) => Some(t),
+            _ => None,
+        })
+    }
+
+    /// The first table whose heading starts with `prefix` (e.g. `"Table 6"`
+    /// finds `Table 6: Signal metrics for multi-room experiment`).
+    pub fn table_by_heading(&self, prefix: &str) -> Option<&Table> {
+        self.tables()
+            .find(|t| t.heading.as_deref().is_some_and(|h| h.starts_with(prefix)))
     }
 }
 
@@ -661,6 +744,28 @@ mod tests {
             rows: vec![vec![Cell::Float(1.25)]],
         };
         assert_eq!(table.render(), "title\n1.2\n");
+    }
+
+    #[test]
+    fn cell_extraction_by_column_and_label() {
+        let mut level = SignalStats::new();
+        for v in [25u8, 26, 28] {
+            level.push(v);
+        }
+        let silence = SignalStats::new();
+        let quality = SignalStats::new();
+        let row = SignalRow::new("  Outsiders", (level, silence, quality));
+        let table = signal_table("Table 9: x", &[row]);
+        let report = Report::new("t", "Table 9", 3, vec![Block::Table(table)]);
+        let t = report.table_by_heading("Table 9:").expect("found");
+        assert!(report.table_by_heading("Table 8:").is_none());
+        let li = t.column_index("level").expect("level column");
+        let row = t.row_by_label("Outsiders").expect("trimmed label match");
+        assert_eq!(row[li].stat(StatField::Mean), Some(79.0 / 3.0));
+        assert_eq!(row[li].stat(StatField::Min), Some(25.0));
+        assert_eq!(row[li].number(), None);
+        assert_eq!(row[t.column_index("packets").unwrap()].number(), Some(3.0));
+        assert!(t.row_by_label("missing").is_none());
     }
 
     #[test]

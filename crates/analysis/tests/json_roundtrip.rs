@@ -1,0 +1,194 @@
+//! Property tests for the JSON writer/parser pair: any serialized
+//! [`Report`] document must survive serialize → parse → re-serialize with
+//! byte equality. The generator is a seeded RNG (no generative-testing
+//! dependency needed): every failure message names the seed, so a
+//! counterexample replays exactly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wavelan_analysis::json::{parse, to_string_pretty, Value};
+use wavelan_analysis::{Block, Cell, Column, Report, StatsCell, Table};
+
+/// Static pools for the `&'static str` fields of the report model.
+const NAMES: [&str; 5] = ["alpha", "beta", "gamma-delta", "t 5-7", ""];
+const SUFFIXES: [&str; 4] = ["", "%", " ft", "^"];
+
+/// Strings exercising every escape class the writer knows: quotes,
+/// backslashes, the control range (two-char and `\u00XX` escapes),
+/// multi-byte UTF-8, and plain text.
+fn arb_string(rng: &mut StdRng) -> String {
+    const PIECES: [&str; 10] = [
+        "plain",
+        "\"quoted\"",
+        "back\\slash",
+        "new\nline",
+        "tab\tbell\u{7}",
+        "nul\u{0}",
+        "\u{1f}unit",
+        "caf\u{e9}",
+        "\u{1d11e}clef",
+        " ",
+    ];
+    let n = rng.gen_range(0..4);
+    (0..n)
+        .map(|_| PIECES[rng.gen_range(0..PIECES.len())])
+        .collect()
+}
+
+/// Floats biased toward the writer's edge cases: signed zero, subnormals,
+/// extremes, non-finite values (which serialize as `null`), and repeating
+/// fractions.
+fn arb_f64(rng: &mut StdRng) -> f64 {
+    const EDGES: [f64; 12] = [
+        0.0,
+        -0.0,
+        1.0 / 3.0,
+        -2.5,
+        f64::MIN_POSITIVE,
+        5e-324,
+        f64::MAX,
+        f64::MIN,
+        f64::NAN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        123456789.000001,
+    ];
+    if rng.gen_range(0..3) == 0 {
+        EDGES[rng.gen_range(0..EDGES.len())]
+    } else {
+        let mag: f64 = rng.gen::<f64>() * 1e6 - 5e5;
+        mag / 10f64.powi(rng.gen_range(0..9))
+    }
+}
+
+fn arb_cell(rng: &mut StdRng) -> Cell {
+    match rng.gen_range(0..8) {
+        0 => Cell::Str(arb_string(rng)),
+        1 => Cell::UInt(rng.gen()),
+        2 => Cell::Float(arb_f64(rng)),
+        3 => Cell::Stats(StatsCell {
+            min: rng.gen(),
+            mean: arb_f64(rng),
+            sd: arb_f64(rng),
+            max: rng.gen(),
+        }),
+        4 => Cell::Bar(rng.gen_range(0..60)),
+        5 => Cell::LossPercent(arb_f64(rng)),
+        6 => Cell::PowerOfTen(rng.gen()),
+        _ => Cell::DashIfZero(rng.gen_range(0..3)),
+    }
+}
+
+fn arb_table(rng: &mut StdRng) -> Table {
+    let columns: Vec<Column> = (0..rng.gen_range(1..4))
+        .map(|_| {
+            Column::new(
+                NAMES[rng.gen_range(0..NAMES.len())],
+                NAMES[rng.gen_range(0..NAMES.len())],
+            )
+            .suffix(SUFFIXES[rng.gen_range(0..SUFFIXES.len())])
+        })
+        .collect();
+    let width = columns.len();
+    Table {
+        heading: if rng.gen_range(0..4) == 0 {
+            None
+        } else {
+            Some(arb_string(rng))
+        },
+        rows: (0..rng.gen_range(0..5))
+            .map(|_| (0..width).map(|_| arb_cell(rng)).collect())
+            .collect(),
+        columns,
+    }
+}
+
+fn arb_report(rng: &mut StdRng) -> Report {
+    let blocks = (0..rng.gen_range(0..6))
+        .map(|_| match rng.gen_range(0..3) {
+            0 => Block::Table(arb_table(rng)),
+            1 => Block::Note(arb_string(rng)),
+            _ => Block::Blank,
+        })
+        .collect();
+    Report::new(
+        NAMES[rng.gen_range(0..NAMES.len())],
+        NAMES[rng.gen_range(0..NAMES.len())],
+        rng.gen(),
+        blocks,
+    )
+}
+
+/// serialize → parse → serialize must reproduce the bytes exactly.
+fn assert_round_trip(doc: &impl serde::Serialize, context: &str) {
+    let first = to_string_pretty(doc);
+    let value: Value = parse(&first)
+        .unwrap_or_else(|e| panic!("{context}: writer produced unparsable JSON: {e}\n{first}"));
+    let second = to_string_pretty(&value);
+    assert_eq!(first, second, "{context}: round trip changed bytes");
+}
+
+#[test]
+fn arbitrary_reports_round_trip_byte_exact() {
+    for seed in 0..300u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let report = arb_report(&mut rng);
+        assert_round_trip(&report, &format!("report seed {seed}"));
+    }
+}
+
+#[test]
+fn float_edge_cells_round_trip() {
+    // Every edge float as a one-cell table, individually attributable.
+    for (i, v) in [
+        0.0,
+        -0.0,
+        1.0 / 3.0,
+        f64::MIN_POSITIVE,
+        5e-324,
+        f64::MAX,
+        f64::MIN,
+        f64::NAN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let table = Table {
+            heading: None,
+            columns: vec![Column::new("v", "v")],
+            rows: vec![vec![Cell::Float(v)]],
+        };
+        let report = Report::new("edge", "float edges", 0, vec![Block::Table(table)]);
+        assert_round_trip(&report, &format!("float edge #{i} ({v})"));
+    }
+}
+
+#[test]
+fn escape_edge_strings_round_trip() {
+    for (i, s) in [
+        "\"\\\"",
+        "\u{0}\u{1}\u{1f}",
+        "line\r\nbreak",
+        "\u{7f}del is not escaped",
+        "\u{e9}\u{1d11e}",
+        "ends with backslash\\",
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let report = Report::new("edge", "escape edges", 0, vec![Block::note(s)]);
+        assert_round_trip(&report, &format!("escape edge #{i} ({s:?})"));
+    }
+}
+
+#[test]
+fn negative_zero_survives_reserialization() {
+    // `-0.0` serializes as `-0`; the i64 re-serialization path would
+    // canonicalize that to `0`. The Value serializer must keep the sign.
+    let json = to_string_pretty(&-0.0f64);
+    assert_eq!(json, "-0\n");
+    let value = parse(&json).expect("parses");
+    assert_eq!(to_string_pretty(&value), "-0\n");
+}

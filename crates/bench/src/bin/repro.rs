@@ -3,11 +3,20 @@
 //! ```text
 //! repro [--scale smoke|reduced|paper] [--seed N] [--jobs N]
 //!       [--format text|json] [--timing-json PATH] [--list] [artifact ...]
+//! repro --validate [--seeds N] [--scale smoke|reduced|paper] [--seed N]
+//!       [--jobs N] [--format text|json]
 //! ```
 //!
 //! With no artifact arguments, everything is regenerated in paper order.
 //! Run `repro --list` for the artifact names, the paper artifact each one
 //! reproduces, and its packet budget at the selected scale.
+//!
+//! `--validate` runs the paper-fidelity harness (`wavelan-validate`)
+//! instead of regenerating artifacts: every expectation for Tables 2–14
+//! and Figures 1–3 is checked against `--seeds N` consecutive seeds
+//! starting at `--seed` (default 3 seeds from 1996). Exit code 0 means no
+//! table failed (warns allowed), 1 means at least one `fail` verdict,
+//! 2 means a usage error.
 //!
 //! `--format json` emits the run as one JSON document (the serde-serialized
 //! structured reports — see the "Report model" section of the README)
@@ -22,6 +31,11 @@
 //! `--timing-json PATH` additionally writes the per-artifact wall-clock
 //! numbers (the same data as the stderr lines) as a JSON document, for
 //! machine consumption by CI perf tracking.
+//!
+//! `--check-json PATH` parses a JSON file with the vendored round-trip
+//! parser and exits 0 if it is well-formed (2 otherwise) — the CI gate
+//! uses it to validate the documents it just wrote without depending on
+//! `jq`.
 
 use serde::{Serialize, SerializeStruct, Serializer};
 use std::time::Instant;
@@ -103,6 +117,8 @@ fn main() {
     let mut jobs = 0usize;
     let mut format = Format::Text;
     let mut list = false;
+    let mut validate = false;
+    let mut seeds = 3u64;
     let mut timing_json_path: Option<String> = None;
     let mut artifacts: Vec<String> = Vec::new();
     let mut it = args.iter();
@@ -142,6 +158,37 @@ fn main() {
                 }
             }
             "--list" => list = true,
+            "--check-json" => {
+                let path = it.next().cloned().unwrap_or_else(|| {
+                    eprintln!("--check-json needs a path");
+                    std::process::exit(2);
+                });
+                let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                    eprintln!("cannot read {path}: {e}");
+                    std::process::exit(2);
+                });
+                match wavelan_analysis::json::parse(&text) {
+                    Ok(_) => {
+                        eprintln!("[{path}: valid JSON]");
+                        return;
+                    }
+                    Err(e) => {
+                        eprintln!("{path}: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--validate" => validate = true,
+            "--seeds" => {
+                seeds = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|n| *n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--seeds needs a positive number");
+                        std::process::exit(2);
+                    })
+            }
             "--timing-json" => {
                 timing_json_path = Some(it.next().cloned().unwrap_or_else(|| {
                     eprintln!("--timing-json needs a path");
@@ -152,8 +199,11 @@ fn main() {
                 println!(
                     "repro [--scale smoke|reduced|paper] [--seed N] [--jobs N] \
                      [--format text|json] [--timing-json PATH] [--list] [artifact ...]\n\
+                     repro --validate [--seeds N] [--scale smoke|reduced|paper] \
+                     [--seed N] [--jobs N] [--format text|json]\n\
                      run `repro --list` for artifact names, paper artifacts, and \
-                     packet budgets"
+                     packet budgets; `--validate` checks the reproduction against \
+                     the paper's published values (exit 1 on any fail verdict)"
                 );
                 return;
             }
@@ -163,6 +213,27 @@ fn main() {
     if list {
         list_artifacts(scale);
         return;
+    }
+    if validate {
+        if !artifacts.is_empty() {
+            eprintln!("--validate always checks the full corpus; drop the artifact arguments");
+            std::process::exit(2);
+        }
+        let exec = Executor::new(jobs);
+        eprintln!("[executor: {} worker(s)]", exec.jobs());
+        let config = wavelan_validate::Config {
+            scale,
+            base_seed: seed,
+            seeds,
+        };
+        let start = Instant::now();
+        let fidelity = wavelan_validate::run(&config, &exec);
+        eprintln!("[validate: {:.2}s]", start.elapsed().as_secs_f64());
+        match format {
+            Format::Text => print!("{}", fidelity.to_report().render()),
+            Format::Json => print!("{}", to_string_pretty(&fidelity)),
+        }
+        std::process::exit(i32::from(fidelity.failed()));
     }
     if artifacts.is_empty() {
         artifacts = ARTIFACTS.iter().map(|s| s.to_string()).collect();

@@ -114,6 +114,10 @@ impl Experiment for Tables8To9 {
         "Tables 8-9 (human body)"
     }
 
+    fn paper_tables(&self) -> &'static [&'static str] {
+        &["Table 8", "Table 9"]
+    }
+
     fn packet_budget(&self, scale: Scale) -> u64 {
         2 * scale.packets(PAPER_PACKETS)
     }

@@ -124,6 +124,10 @@ impl Experiment for Table14 {
         "Table 14 (competing WaveLAN)"
     }
 
+    fn paper_tables(&self) -> &'static [&'static str] {
+        &["Table 14"]
+    }
+
     fn packet_budget(&self, scale: Scale) -> u64 {
         let packets = scale.packets(PAPER_PACKETS);
         2 * packets + packets.min(500)

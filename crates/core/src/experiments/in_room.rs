@@ -93,6 +93,10 @@ impl Experiment for Table2 {
         "Table 2 (in-room base case)"
     }
 
+    fn paper_tables(&self) -> &'static [&'static str] {
+        &["Table 2"]
+    }
+
     fn packet_budget(&self, scale: Scale) -> u64 {
         PAPER_TRIALS.iter().map(|(_, p)| scale.packets(*p)).sum()
     }

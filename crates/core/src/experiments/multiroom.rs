@@ -123,6 +123,10 @@ impl Experiment for Tables5To7 {
         "Tables 5-7 (multi-room)"
     }
 
+    fn paper_tables(&self) -> &'static [&'static str] {
+        &["Table 5", "Table 6", "Table 7"]
+    }
+
     fn packet_budget(&self, scale: Scale) -> u64 {
         PAPER_PACKETS.iter().map(|&(_, p)| scale.packets(p)).sum()
     }

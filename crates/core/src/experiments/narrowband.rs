@@ -93,6 +93,10 @@ impl Experiment for Table10 {
         "Table 10 (narrowband phones)"
     }
 
+    fn paper_tables(&self) -> &'static [&'static str] {
+        &["Table 10"]
+    }
+
     fn packet_budget(&self, scale: Scale) -> u64 {
         5 * scale.packets(PAPER_PACKETS)
     }

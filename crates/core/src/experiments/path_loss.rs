@@ -113,6 +113,10 @@ impl Experiment for Figure1 {
         "Figure 1 (level vs distance)"
     }
 
+    fn paper_tables(&self) -> &'static [&'static str] {
+        &["Figure 1"]
+    }
+
     fn packet_budget(&self, scale: Scale) -> u64 {
         31 * scale.packets(1_440)
     }

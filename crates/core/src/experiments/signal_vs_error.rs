@@ -164,6 +164,10 @@ impl Experiment for Table3 {
         "Table 3 (error conditions vs signal)"
     }
 
+    fn paper_tables(&self) -> &'static [&'static str] {
+        &["Table 3"]
+    }
+
     fn packet_budget(&self, scale: Scale) -> u64 {
         budget(scale)
     }
@@ -190,6 +194,10 @@ impl Experiment for Figure2 {
 
     fn paper_artifact(&self) -> &'static str {
         "Figure 2 (level vs distance, error region)"
+    }
+
+    fn paper_tables(&self) -> &'static [&'static str] {
+        &["Figure 2"]
     }
 
     fn packet_budget(&self, scale: Scale) -> u64 {

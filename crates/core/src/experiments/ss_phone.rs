@@ -189,6 +189,10 @@ impl Experiment for Tables11To13 {
         "Tables 11-13 (spread-spectrum phones)"
     }
 
+    fn paper_tables(&self) -> &'static [&'static str] {
+        &["Table 11", "Table 12", "Table 13"]
+    }
+
     fn packet_budget(&self, scale: Scale) -> u64 {
         6 * scale.packets(PAPER_PACKETS)
     }

@@ -101,6 +101,10 @@ impl Experiment for Figure3 {
         "Figure 3 (receive threshold)"
     }
 
+    fn paper_tables(&self) -> &'static [&'static str] {
+        &["Figure 3"]
+    }
+
     fn packet_budget(&self, scale: Scale) -> u64 {
         13 * scale.packets(1_440)
     }

@@ -97,6 +97,10 @@ impl Experiment for Table4 {
         "Table 4 (single wall)"
     }
 
+    fn paper_tables(&self) -> &'static [&'static str] {
+        &["Table 4"]
+    }
+
     fn packet_budget(&self, scale: Scale) -> u64 {
         4 * scale.packets(PAPER_PACKETS)
     }

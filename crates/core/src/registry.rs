@@ -39,6 +39,17 @@ pub trait Experiment: Sync {
     /// base case)`).
     fn paper_artifact(&self) -> &'static str;
 
+    /// The individual paper tables/figures this artifact reproduces, as the
+    /// labels the fidelity expectation corpus (`wavelan-validate`) is keyed
+    /// by: `"Table 2"` … `"Table 14"`, `"Figure 1"` … `"Figure 3"`. A
+    /// grouped artifact lists every member (`table5-7` → Tables 5, 6, 7);
+    /// extension studies beyond the paper's evaluation return the empty
+    /// slice. The registry-completeness test enforces a one-to-one match
+    /// between these labels and the expectation corpus, both directions.
+    fn paper_tables(&self) -> &'static [&'static str] {
+        &[]
+    }
+
     /// Requested test-packet transmissions at `scale` — the budget the
     /// experiment asks the simulator for, not the stochastic delivery
     /// count.
@@ -93,6 +104,19 @@ pub const NAMES: [&str; 18] = [
     "roaming",
     "hidden-terminal",
 ];
+
+/// Every `(paper table label, artifact name)` pair the registry claims, in
+/// paper order — the registry side of the corpus-completeness contract.
+pub fn paper_table_index() -> Vec<(&'static str, &'static str)> {
+    REGISTRY
+        .iter()
+        .flat_map(|e| {
+            e.paper_tables()
+                .iter()
+                .map(|label| (*label, e.artifact_name()))
+        })
+        .collect()
+}
 
 /// Resolves an artifact name or alias to its registry entry.
 pub fn find(name: &str) -> Option<&'static dyn Experiment> {

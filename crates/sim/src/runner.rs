@@ -817,18 +817,23 @@ mod capture_tests {
     /// receiver (and truncate the weak packet's record), never the reverse.
     #[test]
     fn strong_packets_capture_over_weak_chatter() {
-        // Seed recalibrated for the vendored xoshiro RNG stream (overlap
-        // phasing is seed-dependent; 505 yields ~20 captured-over packets).
         let mut b = ScenarioBuilder::new(505);
         let rx = b.station(StationConfig::receiver(
             Endpoint::station(1),
             Point::feet(0.0, 0.0),
         ));
-        let tx = b.station(StationConfig::sender(
-            Endpoint::station(2),
-            Point::feet(7.0, 0.0),
-            rx,
-        ));
+        // The sender's carrier sense must mask the weak chatter (sensed at
+        // ~level 5), or CSMA defers and test packets never start while a
+        // chatter packet is mid-air — the capture path would go untested.
+        // Threshold 25 makes the sender deaf to the chatterer while the
+        // receiver (default threshold 3) still latches its packets.
+        let tx = b.station(StationConfig {
+            thresholds: wavelan_mac::Thresholds {
+                receive_level: 25,
+                quality: 1,
+            },
+            ..StationConfig::sender(Endpoint::station(2), Point::feet(7.0, 0.0), rx)
+        });
         // A weak foreign chatterer at ~level 5, dense enough to overlap test
         // packets often; its 2.1 ms frames and the 4.3 ms test frames make
         // unequal lengths, exercising the start-time lock arbitration.
