@@ -25,3 +25,36 @@ fi
 # with the vendored JSON parser.
 cargo run --release -p wavelan-bench --bin repro -- --validate --scale smoke --format json > FIDELITY.json
 cargo run --release -p wavelan-bench --bin repro -- --check-json FIDELITY.json
+
+# Serve-latency gate: cold-vs-cached /run through an in-process daemon.
+# The run aborts if the cached response's bytes differ from the cold ones;
+# the resulting speedup lands in BENCH_PR5.json next to the timing fields.
+cargo run --release -p wavelan-bench --bin repro -- --scale smoke --serve-bench BENCH_PR5.json
+cargo run --release -p wavelan-bench --bin repro -- --check-json BENCH_PR5.json
+
+# Daemon smoke test: boot `repro serve` as a real separate process on an
+# ephemeral port, poll /healthz, fetch one artifact and byte-compare it to
+# the CLI's JSON, check /metrics parses, then confirm SIGTERM drains with
+# exit 0.
+REPRO=./target/release/repro
+ADDR_FILE=$(mktemp)
+"$REPRO" serve --addr 127.0.0.1:0 --addr-file "$ADDR_FILE" --workers 2 &
+SERVE_PID=$!
+ADDR=
+for _ in $(seq 1 100); do
+    ADDR=$(cat "$ADDR_FILE" 2>/dev/null || true)
+    if [ -n "$ADDR" ] && "$REPRO" --http-get "http://$ADDR/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.1
+done
+test -n "$ADDR"
+"$REPRO" --http-get "http://$ADDR/run/tdma?seed=1996&scale=smoke" > SERVE_RUN.json
+"$REPRO" --check-json SERVE_RUN.json
+"$REPRO" --scale smoke --seed 1996 --format json tdma > CLI_RUN.json
+cmp SERVE_RUN.json CLI_RUN.json
+"$REPRO" --http-get "http://$ADDR/metrics" > SERVE_METRICS.json
+"$REPRO" --check-json SERVE_METRICS.json
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+rm -f "$ADDR_FILE"

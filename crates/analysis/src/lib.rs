@@ -51,7 +51,9 @@ pub use bursts::{burst_report, BurstReport};
 pub use classify::{AnalyzedPacket, PacketClass, TraceAnalysis};
 pub use lossruns::{loss_runs, LossRunReport};
 pub use matcher::ExpectedSeries;
-pub use report::{render_blocks, Align, Block, Cell, Column, Report, StatField, StatsCell, Table};
+pub use report::{
+    render_blocks, Align, Block, Cell, Column, Report, RunDocument, StatField, StatsCell, Table,
+};
 pub use stats::SignalStats;
 pub use summary::TrialSummary;
 

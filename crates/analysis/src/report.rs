@@ -653,6 +653,34 @@ impl Serialize for Report {
     }
 }
 
+/// A full reproduction run as a serializable document: the scale and seed
+/// it ran at plus every artifact's [`Report`], in run order.
+///
+/// This is the canonical machine format for a set of reports — `repro
+/// --format json` prints one, and the `wavelan-serve` daemon's
+/// `/run/{artifact}` endpoint serves one per artifact. Both go through
+/// [`crate::json::to_string_pretty`], so a served response is byte-identical
+/// to the CLI output for the same `(artifact, seed, scale)`.
+#[derive(Debug, Clone)]
+pub struct RunDocument {
+    /// Scale name (`smoke`, `reduced`, `paper`).
+    pub scale: &'static str,
+    /// Base seed of the run.
+    pub seed: u64,
+    /// One report per artifact run.
+    pub artifacts: Vec<Report>,
+}
+
+impl Serialize for RunDocument {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("RunDocument", 3)?;
+        s.serialize_field("scale", &self.scale)?;
+        s.serialize_field("seed", &self.seed)?;
+        s.serialize_field("artifacts", &self.artifacts)?;
+        s.end()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

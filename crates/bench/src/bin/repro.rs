@@ -1,10 +1,15 @@
-//! Regenerates the paper's tables and figures.
+//! Regenerates the paper's tables and figures — and serves them.
 //!
 //! ```text
 //! repro [--scale smoke|reduced|paper] [--seed N] [--jobs N]
-//!       [--format text|json] [--timing-json PATH] [--list] [artifact ...]
+//!       [--format text|json] [--timing-json PATH] [--serve-bench PATH]
+//!       [--list] [artifact ...]
 //! repro --validate [--seeds N] [--scale smoke|reduced|paper] [--seed N]
 //!       [--jobs N] [--format text|json]
+//! repro serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+//!       [--timeout-ms N] [--jobs N] [--addr-file PATH]
+//! repro --http-get URL
+//! repro --check-json PATH
 //! ```
 //!
 //! With no artifact arguments, everything is regenerated in paper order.
@@ -36,12 +41,48 @@
 //! parser and exits 0 if it is well-formed (2 otherwise) — the CI gate
 //! uses it to validate the documents it just wrote without depending on
 //! `jq`.
+//!
+//! `serve` starts the `wavelan-serve` daemon (see that crate's docs for
+//! the endpoints and status codes) and drains gracefully on
+//! SIGTERM/ctrl-c. `--addr-file PATH` writes the bound address — useful
+//! with `--addr 127.0.0.1:0`, where the kernel picks the port.
+//!
+//! `--http-get URL` is a minimal HTTP GET client (body to stdout, exit 0
+//! only on HTTP 200) so CI can poke the daemon without `curl`.
+//!
+//! `--serve-bench PATH` extends `--timing-json` with a serve-latency
+//! section: it boots an in-process daemon and measures a cold `/run`
+//! (simulates) versus a cached one (memory) for the first artifact of the
+//! run, recording the speedup the result cache delivers.
+//!
+//! Unknown flags, unknown artifacts, and malformed values all exit 2 with
+//! a usage message.
 
 use serde::{Serialize, SerializeStruct, Serializer};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use wavelan_analysis::json::to_string_pretty;
 use wavelan_bench::{run_report, RunDocument, ARTIFACTS};
 use wavelan_core::{registry, Executor, Scale};
+
+/// One-line usage summary, printed with every usage error (exit 2).
+const USAGE: &str = "\
+usage: repro [--scale smoke|reduced|paper] [--seed N] [--jobs N]
+             [--format text|json] [--timing-json PATH] [--serve-bench PATH]
+             [--list] [artifact ...]
+       repro --validate [--seeds N] [--scale S] [--seed N] [--jobs N] [--format F]
+       repro serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+             [--timeout-ms N] [--jobs N] [--addr-file PATH]
+       repro --http-get URL
+       repro --check-json PATH
+run `repro --list` for artifact names and `repro --help` for details";
+
+/// Prints `message` and the usage block to stderr, then exits 2 — the
+/// contract for every malformed invocation (pinned by the CLI tests).
+fn usage_error(message: &str) -> ! {
+    eprintln!("{message}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
 
 /// Output format of the run.
 #[derive(Clone, Copy, PartialEq)]
@@ -73,23 +114,56 @@ impl Serialize for Timing {
     }
 }
 
-/// The whole `--timing-json` document.
+/// The whole `--timing-json` document; `--serve-bench` adds the `serve`
+/// section.
 struct TimingDoc {
     scale: &'static str,
     seed: u64,
     jobs: usize,
     artifacts: Vec<Timing>,
     total: Timing,
+    serve: Option<ServeBench>,
 }
 
 impl Serialize for TimingDoc {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let mut s = serializer.serialize_struct("TimingDoc", 5)?;
+        let mut s = serializer.serialize_struct("TimingDoc", 6)?;
         s.serialize_field("scale", &self.scale)?;
         s.serialize_field("seed", &self.seed)?;
         s.serialize_field("jobs", &self.jobs)?;
         s.serialize_field("artifacts", &self.artifacts)?;
         s.serialize_field("total", &self.total)?;
+        if let Some(serve) = &self.serve {
+            s.serialize_field("serve", serve)?;
+        }
+        s.end()
+    }
+}
+
+/// Cold-vs-cached serve latency for one artifact, from an in-process
+/// daemon (`--serve-bench`).
+struct ServeBench {
+    artifact: String,
+    scale: &'static str,
+    seed: u64,
+    cold_seconds: f64,
+    cached_seconds: f64,
+    /// `cold_seconds / cached_seconds` — how much the result cache buys.
+    speedup: f64,
+    /// Response body length, identical cold and cached.
+    body_bytes: usize,
+}
+
+impl Serialize for ServeBench {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("ServeBench", 7)?;
+        s.serialize_field("artifact", &self.artifact)?;
+        s.serialize_field("scale", &self.scale)?;
+        s.serialize_field("seed", &self.seed)?;
+        s.serialize_field("cold_seconds", &self.cold_seconds)?;
+        s.serialize_field("cached_seconds", &self.cached_seconds)?;
+        s.serialize_field("speedup", &self.speedup)?;
+        s.serialize_field("body_bytes", &self.body_bytes)?;
         s.end()
     }
 }
@@ -112,6 +186,9 @@ fn list_artifacts(scale: Scale) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        serve_main(&args[1..]);
+    }
     let mut scale = Scale::Reduced;
     let mut seed = 1996u64;
     let mut jobs = 0usize;
@@ -120,6 +197,7 @@ fn main() {
     let mut validate = false;
     let mut seeds = 3u64;
     let mut timing_json_path: Option<String> = None;
+    let mut serve_bench_path: Option<String> = None;
     let mut artifacts: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -129,40 +207,34 @@ fn main() {
                     Some("smoke") => Scale::Smoke,
                     Some("reduced") => Scale::Reduced,
                     Some("paper") => Scale::Paper,
-                    other => {
-                        eprintln!("unknown scale {other:?}");
-                        std::process::exit(2);
-                    }
+                    other => usage_error(&format!("unknown scale {other:?}")),
                 }
             }
             "--seed" => {
-                seed = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("--seed needs a number");
-                    std::process::exit(2);
-                })
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage_error("--seed needs an unsigned number"))
             }
             "--jobs" => {
-                jobs = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("--jobs needs a number (0 = one per core)");
-                    std::process::exit(2);
-                })
+                jobs = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage_error("--jobs needs a number (0 = one per core)"))
             }
             "--format" => {
                 format = match it.next().map(String::as_str) {
                     Some("text") => Format::Text,
                     Some("json") => Format::Json,
-                    other => {
-                        eprintln!("unknown format {other:?} (expected text or json)");
-                        std::process::exit(2);
-                    }
+                    other => usage_error(&format!("unknown format {other:?} (text or json)")),
                 }
             }
             "--list" => list = true,
             "--check-json" => {
-                let path = it.next().cloned().unwrap_or_else(|| {
-                    eprintln!("--check-json needs a path");
-                    std::process::exit(2);
-                });
+                let path = it
+                    .next()
+                    .cloned()
+                    .unwrap_or_else(|| usage_error("--check-json needs a path"));
                 let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
                     eprintln!("cannot read {path}: {e}");
                     std::process::exit(2);
@@ -178,35 +250,47 @@ fn main() {
                     }
                 }
             }
+            "--http-get" => {
+                let url = it
+                    .next()
+                    .cloned()
+                    .unwrap_or_else(|| usage_error("--http-get needs a URL"));
+                http_get(&url);
+            }
             "--validate" => validate = true,
             "--seeds" => {
                 seeds = it
                     .next()
                     .and_then(|s| s.parse().ok())
                     .filter(|n| *n > 0)
-                    .unwrap_or_else(|| {
-                        eprintln!("--seeds needs a positive number");
-                        std::process::exit(2);
-                    })
+                    .unwrap_or_else(|| usage_error("--seeds needs a positive number"))
             }
             "--timing-json" => {
-                timing_json_path = Some(it.next().cloned().unwrap_or_else(|| {
-                    eprintln!("--timing-json needs a path");
-                    std::process::exit(2);
-                }))
+                timing_json_path = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| usage_error("--timing-json needs a path")),
+                )
+            }
+            "--serve-bench" => {
+                serve_bench_path = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| usage_error("--serve-bench needs a path")),
+                )
             }
             "--help" | "-h" => {
                 println!(
-                    "repro [--scale smoke|reduced|paper] [--seed N] [--jobs N] \
-                     [--format text|json] [--timing-json PATH] [--list] [artifact ...]\n\
-                     repro --validate [--seeds N] [--scale smoke|reduced|paper] \
-                     [--seed N] [--jobs N] [--format text|json]\n\
-                     run `repro --list` for artifact names, paper artifacts, and \
-                     packet budgets; `--validate` checks the reproduction against \
-                     the paper's published values (exit 1 on any fail verdict)"
+                    "{USAGE}\n\
+                     `--validate` checks the reproduction against the paper's \
+                     published values (exit 1 on any fail verdict); `serve` \
+                     starts the HTTP daemon (endpoints: /healthz /artifacts \
+                     /run/{{artifact}} /validate /metrics) and drains on \
+                     SIGTERM/ctrl-c"
                 );
                 return;
             }
+            flag if flag.starts_with('-') => usage_error(&format!("unknown flag {flag}")),
             name => artifacts.push(name.to_string()),
         }
     }
@@ -302,8 +386,8 @@ fn main() {
         total_packets,
         total_packets as f64 / total.max(1e-9)
     );
-    if let Some(path) = timing_json_path {
-        let doc = TimingDoc {
+    if timing_json_path.is_some() || serve_bench_path.is_some() {
+        let mut doc = TimingDoc {
             scale: scale.name(),
             seed,
             jobs: exec.jobs(),
@@ -313,11 +397,210 @@ fn main() {
                 seconds: total,
                 packets: total_packets,
             },
+            serve: None,
         };
-        if let Err(e) = std::fs::write(&path, to_string_pretty(&doc)) {
-            eprintln!("cannot write {path}: {e}");
-            std::process::exit(2);
+        if let Some(path) = timing_json_path {
+            write_json_or_die(&path, &to_string_pretty(&doc));
+            eprintln!("[timing report written to {path}]");
         }
-        eprintln!("[timing report written to {path}]");
+        if let Some(path) = serve_bench_path {
+            let artifact = artifacts.first().expect("run loop requires artifacts");
+            doc.serve = Some(bench_serve(artifact, scale, seed).unwrap_or_else(|why| {
+                eprintln!("serve benchmark failed: {why}");
+                std::process::exit(1);
+            }));
+            write_json_or_die(&path, &to_string_pretty(&doc));
+            eprintln!("[serve benchmark written to {path}]");
+        }
+    }
+}
+
+/// Writes a JSON document or exits 2 with the I/O error.
+fn write_json_or_die(path: &str, json: &str) {
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(2);
+    }
+}
+
+/// `--http-get URL`: fetch, print the body, exit 0 only on HTTP 200.
+fn http_get(url: &str) -> ! {
+    if wavelan_serve::client::split_url(url).is_none() {
+        usage_error(&format!("--http-get needs an http://host:port/path URL, got {url:?}"));
+    }
+    match wavelan_serve::client::get_url(url, Duration::from_secs(60)) {
+        Ok(response) => {
+            print!("{}", response.body);
+            if response.status == 200 {
+                std::process::exit(0);
+            }
+            eprintln!("[{url}: HTTP {}]", response.status);
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("{url}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `--serve-bench`: boots an in-process daemon on an ephemeral port and
+/// measures one artifact's `/run` cold (simulating) and cached (memory).
+fn bench_serve(artifact: &str, scale: Scale, seed: u64) -> Result<ServeBench, String> {
+    use wavelan_serve::{client, Config, Server};
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Config {
+            workers: 2,
+            ..Config::default()
+        },
+    )
+    .map_err(|e| format!("bind: {e}"))?;
+    let addr = server.local_addr().map_err(|e| format!("addr: {e}"))?.to_string();
+    let handle = server.shutdown_handle();
+    let daemon = std::thread::spawn(move || server.run());
+    let ready = (0..200).any(|_| {
+        match client::get(&addr, "/healthz", Duration::from_millis(250)) {
+            Ok(r) if r.status == 200 => true,
+            _ => {
+                std::thread::sleep(Duration::from_millis(10));
+                false
+            }
+        }
+    });
+    if !ready {
+        handle.request();
+        let _ = daemon.join();
+        return Err(String::from("daemon never became healthy"));
+    }
+    let path = format!("/run/{artifact}?seed={seed}&scale={}", scale.name());
+    let fetch = |label: &str| -> Result<(f64, String), String> {
+        let start = Instant::now();
+        let response = client::get(&addr, &path, Duration::from_secs(600))
+            .map_err(|e| format!("{label} fetch: {e}"))?;
+        let elapsed = start.elapsed().as_secs_f64();
+        if response.status != 200 {
+            return Err(format!("{label} fetch: HTTP {}", response.status));
+        }
+        Ok((elapsed, response.body))
+    };
+    let result = fetch("cold").and_then(|(cold_seconds, cold_body)| {
+        let (cached_seconds, cached_body) = fetch("cached")?;
+        if cold_body != cached_body {
+            return Err(String::from("cached body differs from cold body"));
+        }
+        Ok(ServeBench {
+            artifact: artifact.to_string(),
+            scale: scale.name(),
+            seed,
+            cold_seconds,
+            cached_seconds,
+            speedup: cold_seconds / cached_seconds.max(1e-9),
+            body_bytes: cold_body.len(),
+        })
+    });
+    handle.request();
+    let _ = daemon.join();
+    let bench = result?;
+    eprintln!(
+        "[serve: {artifact} cold {:.4}s, cached {:.6}s, {:.0}x]",
+        bench.cold_seconds, bench.cached_seconds, bench.speedup
+    );
+    Ok(bench)
+}
+
+/// The `repro serve` subcommand: parse flags, install signal handlers,
+/// run the daemon until SIGTERM/ctrl-c, drain, exit 0.
+fn serve_main(args: &[String]) -> ! {
+    use wavelan_serve::{signals, Config, Server};
+    let mut addr = String::from("127.0.0.1:8095");
+    let mut addr_file: Option<String> = None;
+    let mut config = Config::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => {
+                addr = it
+                    .next()
+                    .cloned()
+                    .unwrap_or_else(|| usage_error("--addr needs HOST:PORT"))
+            }
+            "--addr-file" => {
+                addr_file = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| usage_error("--addr-file needs a path")),
+                )
+            }
+            "--workers" => {
+                config.workers = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage_error("--workers needs a number (0 = one per core)"))
+            }
+            "--queue" => {
+                config.queue_depth = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage_error("--queue needs a number"))
+            }
+            "--cache" => {
+                config.cache_capacity = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage_error("--cache needs a number of entries"))
+            }
+            "--timeout-ms" => {
+                config.request_timeout = it
+                    .next()
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .map(Duration::from_millis)
+                    .unwrap_or_else(|| usage_error("--timeout-ms needs a number"))
+            }
+            "--jobs" => {
+                config.jobs_per_run = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage_error("--jobs needs a number (0 = one per core)"))
+            }
+            flag => usage_error(&format!("unknown serve flag {flag}")),
+        }
+    }
+    signals::install();
+    let server = Server::bind(&addr, config).unwrap_or_else(|e| {
+        eprintln!("cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    let bound = server
+        .local_addr()
+        .expect("bound listener has an address")
+        .to_string();
+    eprintln!(
+        "[serving on {bound}; {} worker(s); SIGTERM or ctrl-c drains]",
+        server.workers()
+    );
+    if let Some(path) = &addr_file {
+        if let Err(e) = std::fs::write(path, &bound) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    let handle = server.shutdown_handle();
+    std::thread::spawn(move || loop {
+        if signals::triggered() {
+            handle.request();
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    });
+    match server.run() {
+        Ok(()) => {
+            eprintln!("[drained, shutting down]");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            std::process::exit(1);
+        }
     }
 }

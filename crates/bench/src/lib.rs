@@ -14,10 +14,11 @@
 //! committed transcript, and the determinism test replays artifacts at
 //! different worker counts.
 
-use serde::{Serialize, SerializeStruct, Serializer};
 use wavelan_analysis::Report;
 use wavelan_core::registry;
 use wavelan_core::{Executor, Scale};
+
+pub use wavelan_analysis::RunDocument;
 
 /// Names of all reproducible artifacts: the paper's tables and figures in
 /// paper order, then the extension experiments. Identical to
@@ -49,28 +50,6 @@ pub fn run_artifact(name: &str, scale: Scale, seed: u64, exec: &Executor) -> Opt
         text: report.render(),
         packets: report.packets,
     })
-}
-
-/// A full `repro` run as a serializable document: the scale and seed it ran
-/// at plus every artifact's [`Report`], in run order.
-#[derive(Debug, Clone)]
-pub struct RunDocument {
-    /// Scale name (`smoke`, `reduced`, `paper`).
-    pub scale: &'static str,
-    /// Base seed of the run.
-    pub seed: u64,
-    /// One report per artifact run.
-    pub artifacts: Vec<Report>,
-}
-
-impl Serialize for RunDocument {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let mut s = serializer.serialize_struct("RunDocument", 3)?;
-        s.serialize_field("scale", &self.scale)?;
-        s.serialize_field("seed", &self.seed)?;
-        s.serialize_field("artifacts", &self.artifacts)?;
-        s.end()
-    }
 }
 
 #[cfg(test)]

@@ -44,6 +44,6 @@ pub mod experiments;
 pub mod layouts;
 pub mod registry;
 
-pub use executor::{trial_seed, Executor};
+pub use executor::{trial_seed, Executor, TrialPanic};
 pub use experiments::common::Scale;
 pub use registry::{find, Experiment, NAMES, REGISTRY};

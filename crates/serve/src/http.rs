@@ -1,0 +1,174 @@
+//! Minimal HTTP/1.1 framing: just enough of the wire protocol for the
+//! daemon's GET-only API, hand-rolled over [`std::net::TcpStream`] so the
+//! build stays registry-offline.
+//!
+//! Requests are read with a hard size cap and a socket read timeout, parsed
+//! into a [`Request`] (method, path, split query pairs), and answered with
+//! `Connection: close` responses — one request per connection, which keeps
+//! the daemon's admission control (one queue slot per connection) exact.
+//! Query strings are split on `&`/`=` without percent-decoding: every value
+//! the API accepts (artifact names, seeds, scales) is plain ASCII, and
+//! anything else fails validation with a 400 downstream.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Longest request head (request line + headers) the server will read.
+/// Anything larger is malformed by this API's standards and gets a 400.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// A parsed request line: the only parts of the request this API routes on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The HTTP method verbatim (`GET`, `POST`, …).
+    pub method: String,
+    /// The path with the query string stripped (`/run/table2`).
+    pub path: String,
+    /// Query pairs in source order; a key without `=` keeps an empty value.
+    pub query: Vec<(String, String)>,
+}
+
+impl Request {
+    /// Looks up a query parameter by key (first occurrence wins).
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads one request head from the stream and parses its request line.
+///
+/// The caller is expected to have set a read timeout on the stream; a
+/// timeout, an oversized head, or a malformed request line all come back as
+/// `Err` with a short reason — the server turns every one into a 400.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    loop {
+        // The head is capped at 8 KiB, so rescanning it per read is cheap.
+        if head.windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(String::from("request head too large"));
+        }
+        let n = stream
+            .read(&mut buf)
+            .map_err(|e| format!("read failed: {e}"))?;
+        if n == 0 {
+            // Peer closed before finishing the head.
+            if head.is_empty() {
+                return Err(String::from("empty request"));
+            }
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+    }
+    let head = String::from_utf8(head).map_err(|_| String::from("request head is not UTF-8"))?;
+    let request_line = head.lines().next().unwrap_or_default();
+    parse_request_line(request_line)
+}
+
+/// Parses `METHOD SP target SP HTTP/1.x` into a [`Request`].
+fn parse_request_line(line: &str) -> Result<Request, String> {
+    let mut parts = line.split(' ');
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(format!("malformed request line {line:?}"));
+    };
+    if method.is_empty() || target.is_empty() {
+        return Err(format!("malformed request line {line:?}"));
+    }
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported protocol {version:?}"));
+    }
+    if !target.starts_with('/') {
+        return Err(format!("unsupported request target {target:?}"));
+    }
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (pair.to_string(), String::new()),
+        })
+        .collect();
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        query,
+    })
+}
+
+/// The reason phrase for every status this API emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one complete `Connection: close` response.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_line_parses_path_and_query() {
+        let req = parse_request_line("GET /run/table2?seed=7&scale=smoke HTTP/1.1").expect("ok");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/run/table2");
+        assert_eq!(req.param("seed"), Some("7"));
+        assert_eq!(req.param("scale"), Some("smoke"));
+        assert_eq!(req.param("missing"), None);
+    }
+
+    #[test]
+    fn request_line_rejects_garbage() {
+        assert!(parse_request_line("").is_err());
+        assert!(parse_request_line("BOGUS").is_err());
+        assert!(parse_request_line("GET /healthz").is_err());
+        assert!(parse_request_line("GET /a b HTTP/1.1 extra").is_err());
+        assert!(parse_request_line("GET healthz HTTP/1.1").is_err());
+        assert!(parse_request_line("GET /healthz SPDY/3").is_err());
+    }
+
+    #[test]
+    fn valueless_and_empty_query_pairs() {
+        let req = parse_request_line("GET /x?flag&k=v HTTP/1.1").expect("ok");
+        assert_eq!(req.query.len(), 2);
+        assert_eq!(req.param("flag"), Some(""));
+        assert_eq!(req.param("k"), Some("v"));
+        let bare = parse_request_line("GET /x? HTTP/1.1").expect("ok");
+        assert!(bare.query.is_empty());
+    }
+}
