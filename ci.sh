@@ -20,6 +20,15 @@ else
     # committed tests/golden/repro_smoke.json proves it parses.
     cmp REPRO_SMOKE.json tests/golden/repro_smoke.json
 fi
+# Scenario-scripting gate: the event-DAG conformance suite runs explicitly
+# (determinism, declaration-permutation stability, the ported capture
+# tests, and the malformed-script paths), then one scripted scenario's
+# transcript is pinned byte-for-byte against its golden file.
+cargo test -q --test scenario_dag --test scenario_capture --test scenario_negative
+cargo run --release -p wavelan-bench --bin repro -- --scenario list
+cargo run --release -p wavelan-bench --bin repro -- --scenario walk-by --scale smoke > SCENARIO_WALKBY.txt
+cmp SCENARIO_WALKBY.txt tests/golden/scenario_walkby_smoke.txt
+
 # Paper-fidelity gate: every Table 2-14 / Figure 1-3 expectation must be
 # within tolerance (exit 1 on any fail verdict), and the report must parse
 # with the vendored JSON parser.

@@ -4,6 +4,7 @@
 //! repro [--scale smoke|reduced|paper] [--seed N] [--jobs N]
 //!       [--format text|json] [--timing-json PATH] [--serve-bench PATH]
 //!       [--list] [artifact ...]
+//! repro --scenario NAME [--scale S] [--seed N] [--jobs N] [--format F]
 //! repro --validate [--seeds N] [--scale smoke|reduced|paper] [--seed N]
 //!       [--jobs N] [--format text|json]
 //! repro serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
@@ -15,6 +16,13 @@
 //! With no artifact arguments, everything is regenerated in paper order.
 //! Run `repro --list` for the artifact names, the paper artifact each one
 //! reproduces, and its packet budget at the selected scale.
+//!
+//! `--scenario NAME` runs one scripted scenario from the event-DAG library
+//! (`wavelan-core::scenario`) instead of a registry artifact and renders
+//! its report — the scenario's `require` verdicts included. Exit code 0
+//! means every require held, 1 means at least one failed, 2 means the name
+//! is unknown (the error lists the valid names; `--scenario list` prints
+//! them without running anything).
 //!
 //! `--validate` runs the paper-fidelity harness (`wavelan-validate`)
 //! instead of regenerating artifacts: every expectation for Tables 2–14
@@ -69,6 +77,7 @@ const USAGE: &str = "\
 usage: repro [--scale smoke|reduced|paper] [--seed N] [--jobs N]
              [--format text|json] [--timing-json PATH] [--serve-bench PATH]
              [--list] [artifact ...]
+       repro --scenario NAME [--scale S] [--seed N] [--jobs N] [--format F]
        repro --validate [--seeds N] [--scale S] [--seed N] [--jobs N] [--format F]
        repro serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
              [--timeout-ms N] [--jobs N] [--addr-file PATH]
@@ -195,6 +204,7 @@ fn main() {
     let mut format = Format::Text;
     let mut list = false;
     let mut validate = false;
+    let mut scenario: Option<String> = None;
     let mut seeds = 3u64;
     let mut timing_json_path: Option<String> = None;
     let mut serve_bench_path: Option<String> = None;
@@ -258,6 +268,13 @@ fn main() {
                 http_get(&url);
             }
             "--validate" => validate = true,
+            "--scenario" => {
+                scenario = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| usage_error("--scenario needs a name (or `list`)")),
+                )
+            }
             "--seeds" => {
                 seeds = it
                     .next()
@@ -297,6 +314,16 @@ fn main() {
     if list {
         list_artifacts(scale);
         return;
+    }
+    if let Some(name) = scenario {
+        if validate {
+            usage_error("--scenario and --validate are mutually exclusive");
+        }
+        if !artifacts.is_empty() {
+            eprintln!("--scenario runs one named scenario; drop the artifact arguments");
+            std::process::exit(2);
+        }
+        run_scenario(&name, scale, seed, jobs, format);
     }
     if validate {
         if !artifacts.is_empty() {
@@ -413,6 +440,36 @@ fn main() {
             eprintln!("[serve benchmark written to {path}]");
         }
     }
+}
+
+/// `--scenario NAME`: run one event-DAG library scenario and render its
+/// report (require verdicts included). Exit 0 if every require held, 1 if
+/// any failed, 2 if the name is unknown.
+fn run_scenario(name: &str, scale: Scale, seed: u64, jobs: usize, format: Format) -> ! {
+    use wavelan_core::scenario::{run_named, SCENARIO_NAMES};
+    if name == "list" {
+        println!("scenarios (event-DAG scripts; run with --scenario <name>):");
+        for n in SCENARIO_NAMES {
+            println!("  {n}");
+        }
+        std::process::exit(0);
+    }
+    let exec = Executor::new(jobs);
+    eprintln!("[executor: {} worker(s)]", exec.jobs());
+    let start = Instant::now();
+    let Some(run) = run_named(name, seed, scale, &exec) else {
+        eprintln!("unknown scenario {name}");
+        eprintln!("valid scenarios: {}", SCENARIO_NAMES.join(" "));
+        std::process::exit(2);
+    };
+    // Timing to stderr only: stdout stays bit-identical across runs and
+    // worker counts (the CI gate diffs it against a golden transcript).
+    eprintln!("[scenario {name}: {:.2}s]", start.elapsed().as_secs_f64());
+    match format {
+        Format::Text => print!("{}", run.report.render()),
+        Format::Json => print!("{}", to_string_pretty(&run.report)),
+    }
+    std::process::exit(i32::from(!run.passed()));
 }
 
 /// Writes a JSON document or exits 2 with the I/O error.

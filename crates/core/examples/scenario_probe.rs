@@ -1,0 +1,31 @@
+//! Calibration probe for the scenario library: runs every named scenario at
+//! smoke scale across a few seeds and prints each judgment, so the bounds in
+//! `scenario::library` can be pinned against observed behaviour.
+//!
+//! Usage: `cargo run -p wavelan-core --example scenario_probe [name...]`
+
+use wavelan_core::scenario::{run_named, SCENARIO_NAMES};
+use wavelan_core::{Executor, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let names: Vec<&str> = if args.is_empty() {
+        SCENARIO_NAMES.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let exec = Executor::new(2);
+    for name in names {
+        for seed in [1996_u64, 1, 2, 3] {
+            let run = run_named(name, seed, Scale::Smoke, &exec)
+                .unwrap_or_else(|| panic!("unknown scenario {name}"));
+            println!("=== {name} seed={seed} passed={}", run.passed());
+            for j in &run.judgments {
+                println!("  {}", j.line());
+                if !j.passed && !j.context.is_empty() {
+                    println!("{}", j.context);
+                }
+            }
+        }
+    }
+}

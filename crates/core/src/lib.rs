@@ -37,12 +37,19 @@
 //!
 //! [`calibration`] documents every constant that ties the simulator to a
 //! number in the paper; [`layouts`] holds the floor plans.
+//!
+//! [`scenario`] is the event-DAG scripting layer: declarative multi-station
+//! choreography (place / move / transmit / set_knob / wait / assert on a
+//! happens-after graph) compiled onto the simulator's directive timetable,
+//! with `require` conditions judged after the run — the substrate of the
+//! MAC/capture conformance suite and of `repro --scenario`.
 
 pub mod calibration;
 pub mod executor;
 pub mod experiments;
 pub mod layouts;
 pub mod registry;
+pub mod scenario;
 
 pub use executor::{trial_seed, Executor, TrialPanic};
 pub use experiments::common::Scale;

@@ -76,6 +76,16 @@ impl MacStats {
         }
         1.0 - self.collisions as f64 / self.attempts as f64
     }
+
+    /// Deferrals: attempts that found the medium busy and backed off. In
+    /// WaveLAN's CSMA/CA a busy medium *is* a collision (Section 2), so this
+    /// is the same counter as [`MacStats::collisions`] under the name the
+    /// scenario layer's `require` conditions use — a capture test whose
+    /// stations mutually defer shows a high value here and a zero
+    /// transmission-overlap count.
+    pub fn deferrals(&self) -> u64 {
+        self.collisions
+    }
 }
 
 /// Per-station CSMA/CA state.

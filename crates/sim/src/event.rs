@@ -26,6 +26,13 @@ pub enum Event {
         /// Transmission id (index into the medium's log).
         tx: usize,
     },
+    /// A scripted directive (index into the run's directive table) fires:
+    /// move a station, change a knob, enqueue scripted frames, snapshot
+    /// counters. Only scheduled by [`crate::runner::Scenario::run_scripted`].
+    Directive {
+        /// Index into the directive table passed to the scripted run.
+        index: usize,
+    },
 }
 
 /// Time-ordered event queue.
@@ -47,6 +54,7 @@ impl EventSlot {
             Event::AppSend { station } => EventSlot(0, station),
             Event::MacAttempt { station } => EventSlot(1, station),
             Event::TxEnd { tx } => EventSlot(2, tx),
+            Event::Directive { index } => EventSlot(3, index),
         };
         (slot, e)
     }
@@ -56,6 +64,7 @@ impl EventSlot {
             EventSlot(0, station) => Event::AppSend { station },
             EventSlot(1, station) => Event::MacAttempt { station },
             EventSlot(2, tx) => Event::TxEnd { tx },
+            EventSlot(3, index) => Event::Directive { index },
             _ => unreachable!("invalid event slot"),
         }
     }
@@ -135,6 +144,7 @@ mod tests {
             Event::AppSend { station: 7 },
             Event::MacAttempt { station: 0 },
             Event::TxEnd { tx: 123 },
+            Event::Directive { index: 4 },
         ] {
             let (slot, orig) = EventSlot::pack(e);
             assert_eq!(slot.unpack(), orig);

@@ -45,6 +45,9 @@ pub use floorplan::{FloorPlan, Wall};
 pub use geometry::{Point, Segment};
 pub use medium::{AmbientSource, Emitter};
 pub use propagation::Propagation;
-pub use runner::{Scenario, ScenarioBuilder, SimScratch, TrialResult};
+pub use runner::{
+    Directive, DirectiveOp, Scenario, ScenarioBuilder, SimScratch, SnapshotData, StationCounters,
+    TrialResult,
+};
 pub use station::{Station, StationConfig, StationId};
 pub use trace::{Trace, TraceRecord};

@@ -11,6 +11,7 @@ use crate::trace::{GroundTruth, Trace, TraceRecord};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use wavelan_mac::csma::{MacStats, TxAction};
+use wavelan_mac::threshold::Thresholds;
 use wavelan_mac::network_id::wrap_with_network_id;
 use wavelan_net::testpkt::TestPacket;
 use wavelan_phy::agc::power_to_level_units;
@@ -136,6 +137,105 @@ impl SimScratch {
     }
 }
 
+/// One timed instruction in a scripted run: at `at_ns`, apply `op` to the
+/// running trial. Directives are the compiled form of the event-DAG
+/// scenario layer (`wavelan-core::scenario`); they fire inside the
+/// discrete-event loop in schedule order (ties broken by table order), so a
+/// scripted run is exactly as deterministic as an unscripted one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Directive {
+    /// Absolute virtual time at which the directive fires, ns.
+    pub at_ns: u64,
+    /// What to do.
+    pub op: DirectiveOp,
+}
+
+/// The operations a scripted run can perform mid-trial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DirectiveOp {
+    /// Teleport a station to a new position (a walk is a run of these).
+    MoveStation {
+        /// Station to move.
+        station: StationId,
+        /// New position.
+        to: Point,
+    },
+    /// Change the receiver capture margin for the rest of the run
+    /// (`f64::INFINITY` ablates capture).
+    SetCaptureMargin {
+        /// New margin, dB.
+        margin_db: f64,
+    },
+    /// Swap a station's receive/quality thresholds (Section 7.4's
+    /// threshold-25 unmasking, scripted).
+    SetThresholds {
+        /// Station to retune.
+        station: StationId,
+        /// New thresholds.
+        thresholds: Thresholds,
+    },
+    /// Replace a station's traffic pattern. Setting [`Traffic::Periodic`]
+    /// or [`Traffic::Saturate`] starts it immediately; [`Traffic::None`]
+    /// stops future sends (one already-scheduled send may still fire).
+    SetTraffic {
+        /// Station to reconfigure.
+        station: StationId,
+        /// New pattern.
+        traffic: Traffic,
+    },
+    /// Hand `packets` frames to a [`Traffic::Scripted`] station, spaced
+    /// `spacing_ns` apart; frames that find the previous one still pending
+    /// queue in the station's backlog.
+    Enqueue {
+        /// Scripted station.
+        station: StationId,
+        /// Number of frames.
+        packets: u64,
+        /// Inter-frame application spacing, ns.
+        spacing_ns: u64,
+    },
+    /// Record a [`SnapshotData`] of every counter at this instant (the
+    /// scenario layer's mid-run `assert` probes read these).
+    Snapshot {
+        /// Caller-chosen snapshot id, returned in [`SnapshotData::id`].
+        id: usize,
+    },
+}
+
+/// Per-station counters frozen by a [`DirectiveOp::Snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StationCounters {
+    /// Packets put on the air.
+    pub transmitted: u64,
+    /// Packets delivered up the receive path.
+    pub delivered: u64,
+    /// Of the delivered, cut short (capture or unlock).
+    pub truncated: u64,
+    /// Locked packets abandoned for a stronger one.
+    pub captures_made: u64,
+    /// MAC-abandoned frames.
+    pub dropped_by_mac: u64,
+    /// Threshold-masked packets.
+    pub filtered: u64,
+    /// MAC counters (attempts / collisions-i.e.-deferrals / transmissions).
+    pub mac: MacStats,
+    /// Trace records logged so far (usize::MAX if not recording).
+    pub trace_len: usize,
+}
+
+/// Everything a mid-run snapshot captures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotData {
+    /// Caller-chosen id from the directive.
+    pub id: usize,
+    /// Virtual time of the snapshot, ns.
+    pub at_ns: u64,
+    /// Per-station counters, indexed by [`StationId`].
+    pub stations: Vec<StationCounters>,
+    /// Global overlap count so far (see [`TrialResult::overlap_count`]).
+    pub overlap_count: u64,
+}
+
 /// Results of one trial.
 #[derive(Debug)]
 pub struct TrialResult {
@@ -153,6 +253,22 @@ pub struct TrialResult {
     pub rx_lost: Vec<u64>,
     /// Per-station MAC counters (attempts / collisions / transmissions).
     pub mac_stats: Vec<MacStats>,
+    /// Per-station packets delivered up the receive path (both thresholds
+    /// passed), recorded whether or not the station keeps a trace.
+    pub packets_delivered: Vec<u64>,
+    /// Per-station delivered-but-cut-short packets.
+    pub packets_truncated_rx: Vec<u64>,
+    /// Per-station count of capture events: a locked packet abandoned for a
+    /// ≥-margin stronger one (Section 7.4).
+    pub captures_made: Vec<u64>,
+    /// Times a station began transmitting while a foreign transmission was
+    /// already on the air — the ground truth the PR 4 mutual-CSMA-deferral
+    /// bug silently zeroed. A capture test whose choreography defers instead
+    /// of overlapping shows up here as `overlap_count == 0`.
+    pub overlap_count: u64,
+    /// Counter snapshots taken by [`DirectiveOp::Snapshot`], in firing
+    /// order (empty for unscripted runs).
+    pub snapshots: Vec<SnapshotData>,
     /// Virtual time at which the trial ended, ns.
     pub ended_at_ns: u64,
 }
@@ -178,6 +294,14 @@ struct Runner<'s> {
     primary: usize,
     /// TxEnd events resolved for the primary station.
     primary_completed: u64,
+    /// Capture margin in effect (scripted runs can retune it mid-trial).
+    capture_margin_db: f64,
+    /// Scripted directive table (empty for unscripted runs).
+    directives: &'s [Directive],
+    /// Snapshots recorded so far.
+    snapshots: Vec<SnapshotData>,
+    /// Transmissions begun while foreign ones were already on the air.
+    overlap_count: u64,
     /// Reusable buffers (caller-owned so they survive across trials).
     scratch: &'s mut SimScratch,
 }
@@ -226,6 +350,31 @@ impl Scenario {
         limit_ns: u64,
         scratch: &mut SimScratch,
     ) -> TrialResult {
+        self.run_inner(primary, n_packets, limit_ns, &[], scratch)
+    }
+
+    /// Runs a **scripted** trial: the directive table is merged into the
+    /// event queue (each directive fires at its `at_ns`, table order breaking
+    /// ties) and the trial runs until the queue is quiescent or `limit_ns`
+    /// passes. Same seed + same directives ⇒ bit-identical
+    /// [`TrialResult`] — scripting adds no RNG draws of its own.
+    pub fn run_scripted(
+        &self,
+        directives: &[Directive],
+        limit_ns: u64,
+        scratch: &mut SimScratch,
+    ) -> TrialResult {
+        self.run_inner(usize::MAX, u64::MAX, limit_ns, directives, scratch)
+    }
+
+    fn run_inner(
+        &self,
+        primary: StationId,
+        n_packets: u64,
+        limit_ns: u64,
+        directives: &[Directive],
+        scratch: &mut SimScratch,
+    ) -> TrialResult {
         let mut runner = Runner {
             scenario: self,
             stations: self.stations.iter().cloned().map(Station::new).collect(),
@@ -235,11 +384,22 @@ impl Scenario {
             positions: self.stations.iter().map(|s| s.pos).collect(),
             primary,
             primary_completed: 0,
+            capture_margin_db: self.capture_margin_db,
+            directives,
+            snapshots: Vec::new(),
+            overlap_count: 0,
             scratch,
         };
+        // Directives enter the queue first so a directive at time t fires
+        // before same-time traffic scheduled below (insertion order breaks
+        // ties deterministically).
+        for (index, d) in directives.iter().enumerate() {
+            runner.queue.schedule(d.at_ns, Event::Directive { index });
+        }
         // Kick off traffic with small per-station offsets to break symmetry.
+        // Scripted stations stay quiet: their frames arrive by directive.
         for (i, s) in runner.stations.iter().enumerate() {
-            if !matches!(s.config.traffic, Traffic::None) {
+            if !matches!(s.config.traffic, Traffic::None | Traffic::Scripted { .. }) {
                 runner
                     .queue
                     .schedule(1_000 * (i as u64 + 1), Event::AppSend { station: i });
@@ -277,6 +437,19 @@ impl Scenario {
                 .collect(),
             rx_lost: runner.stations.iter().map(|s| s.rx_lost).collect(),
             mac_stats: runner.stations.iter().map(|s| s.mac.stats()).collect(),
+            packets_delivered: runner
+                .stations
+                .iter()
+                .map(|s| s.packets_delivered)
+                .collect(),
+            packets_truncated_rx: runner
+                .stations
+                .iter()
+                .map(|s| s.packets_truncated_rx)
+                .collect(),
+            captures_made: runner.stations.iter().map(|s| s.captures_made).collect(),
+            overlap_count: runner.overlap_count,
+            snapshots: runner.snapshots,
             traces: runner
                 .stations
                 .into_iter()
@@ -298,11 +471,82 @@ impl Runner<'_> {
             Event::AppSend { station } => self.on_app_send(now, station),
             Event::MacAttempt { station } => self.on_mac_attempt(now, station),
             Event::TxEnd { tx } => self.on_tx_end(now, tx),
+            Event::Directive { index } => self.on_directive(now, index),
+        }
+    }
+
+    fn on_directive(&mut self, now: u64, index: usize) {
+        match self.directives[index].op {
+            DirectiveOp::MoveStation { station, to } => {
+                self.positions[station] = to;
+            }
+            DirectiveOp::SetCaptureMargin { margin_db } => {
+                self.capture_margin_db = margin_db;
+            }
+            DirectiveOp::SetThresholds {
+                station,
+                thresholds,
+            } => {
+                self.stations[station].config.thresholds = thresholds;
+            }
+            DirectiveOp::SetTraffic { station, traffic } => {
+                self.stations[station].config.traffic = traffic;
+                if matches!(
+                    traffic,
+                    Traffic::Periodic { .. } | Traffic::Saturate { .. }
+                ) {
+                    self.queue.schedule(now, Event::AppSend { station });
+                }
+            }
+            DirectiveOp::Enqueue {
+                station,
+                packets,
+                spacing_ns,
+            } => {
+                for k in 0..packets {
+                    self.queue
+                        .schedule(now + k * spacing_ns, Event::AppSend { station });
+                }
+            }
+            DirectiveOp::Snapshot { id } => {
+                let stations = self
+                    .stations
+                    .iter()
+                    .map(|s| StationCounters {
+                        transmitted: s.packets_transmitted,
+                        delivered: s.packets_delivered,
+                        truncated: s.packets_truncated_rx,
+                        captures_made: s.captures_made,
+                        dropped_by_mac: s.packets_dropped_by_mac,
+                        filtered: s.packets_filtered,
+                        mac: s.mac.stats(),
+                        trace_len: s.trace.as_ref().map_or(usize::MAX, Trace::len),
+                    })
+                    .collect();
+                self.snapshots.push(SnapshotData {
+                    id,
+                    at_ns: now,
+                    stations,
+                    overlap_count: self.overlap_count,
+                });
+            }
         }
     }
 
     fn on_app_send(&mut self, now: u64, idx: usize) {
         let station = &mut self.stations[idx];
+        match station.config.traffic {
+            // A quiet station ignores stray sends (possible after a scripted
+            // SetTraffic to None raced an already-scheduled AppSend).
+            Traffic::None => return,
+            // Scripted frames behind a pending one wait in the backlog; the
+            // TxEnd/Drop paths pump them out.
+            Traffic::Scripted { .. } if station.pending_seq.is_some() => {
+                station.backlog += 1;
+                return;
+            }
+            _ => {}
+        }
         if station.pending_seq.is_none() {
             station.pending_seq = Some(station.next_seq);
             station.next_seq += 1;
@@ -369,7 +613,14 @@ impl Runner<'_> {
                 let eth = match self.stations[idx].config.frame {
                     FrameKind::Test => TestPacket { seq }.build_frame(src_ep, dst_ep),
                     FrameKind::Chatter => chatter_frame(src_ep, seq),
+                    FrameKind::Sized { bytes } => sized_frame(src_ep, dst_ep, seq, bytes),
                 };
+                // Ground truth for the capture conformance suite: did this
+                // transmission actually begin while a foreign one was on the
+                // air? (Mutual CSMA deferral silently zeroes this.)
+                if self.medium.active_at(now).any(|(_, t)| t.src != idx) {
+                    self.overlap_count += 1;
+                }
                 let wire = wrap_with_network_id(network_id, &eth);
                 let len_bits = wire.len() as u64 * 8;
                 let tx = Transmission {
@@ -397,9 +648,12 @@ impl Runner<'_> {
             TxAction::Drop => {
                 self.stations[idx].pending_seq = None;
                 self.stations[idx].packets_dropped_by_mac += 1;
-                // A saturating sender immediately queues the next frame.
+                // A saturating sender immediately queues the next frame; a
+                // scripted one pumps its backlog.
                 if matches!(self.stations[idx].config.traffic, Traffic::Saturate { .. }) {
                     self.queue.schedule(now, Event::AppSend { station: idx });
+                } else {
+                    self.pump_backlog(now, idx);
                 }
             }
         }
@@ -414,7 +668,8 @@ impl Runner<'_> {
                 self.resolve_reception(r, tx_id, &tx);
             }
         }
-        // A saturating source turns the next packet around after one IFS.
+        // A saturating source turns the next packet around after one IFS; a
+        // scripted source pumps any backlog the same way.
         if matches!(
             self.stations[tx.src].config.traffic,
             Traffic::Saturate { .. }
@@ -422,11 +677,28 @@ impl Runner<'_> {
             let ifs = self.stations[tx.src].config.mac.ifs_ns;
             self.queue
                 .schedule(now + ifs, Event::AppSend { station: tx.src });
+        } else {
+            self.pump_backlog(now, tx.src);
         }
         if tx.src == self.primary {
             self.primary_completed += 1;
         }
         self.medium.prune(now, 20_000_000);
+    }
+
+    /// Releases the next backlogged scripted frame of `idx`, if any: one IFS
+    /// after the frame that just ended (mirroring the saturating source).
+    fn pump_backlog(&mut self, now: u64, idx: usize) {
+        let station = &mut self.stations[idx];
+        if !matches!(station.config.traffic, Traffic::Scripted { .. }) {
+            return;
+        }
+        if station.backlog > 0 && station.pending_seq.is_none() {
+            station.backlog -= 1;
+            let ifs = station.config.mac.ifs_ns;
+            self.queue
+                .schedule(now + ifs, Event::AppSend { station: idx });
+        }
     }
 
     /// Offers a just-started transmission to receiver `r`. This models the
@@ -470,8 +742,9 @@ impl Runner<'_> {
                 // Receiver busy: a much stronger packet captures it
                 // (Section 7.4's conjectured capture effect); anything else
                 // is just interference to the locked packet.
-                if signal_dbm >= res.signal_dbm + self.scenario.capture_margin_db {
+                if signal_dbm >= res.signal_dbm + self.capture_margin_db {
                     station.capture_cuts.insert(res.tx_id, start_ns);
+                    station.captures_made += 1;
                     station.reservation = Some(RxReservation {
                         tx_id,
                         start_ns,
@@ -582,6 +855,10 @@ impl Runner<'_> {
             reception.truncated_at_bit = Some(already.min(cap_bit));
             reception.error_bits.retain(|&b| b < already.min(cap_bit));
         }
+        station.packets_delivered += 1;
+        if reception.truncated_at_bit.is_some() {
+            station.packets_truncated_rx += 1;
+        }
 
         if let Some(trace) = station.trace.as_mut() {
             let delivered_bits = reception.delivered_bits(len_bits);
@@ -632,6 +909,27 @@ fn chatter_frame(src: wavelan_net::testpkt::Endpoint, seq: u32) -> Vec<u8> {
         wavelan_net::MacAddr::BROADCAST,
         src.mac,
         wavelan_net::EtherType::Arp,
+        &body,
+    )
+}
+
+/// Builds a test-style unicast frame with an explicit body size — the
+/// variable-length packets of the pulsed-interference sweeps
+/// ([`FrameKind::Sized`]). The sequence number leads the body; delivery
+/// accounting rides on the transmission's ground truth, not the payload.
+fn sized_frame(
+    src: wavelan_net::testpkt::Endpoint,
+    dst: wavelan_net::testpkt::Endpoint,
+    seq: u32,
+    bytes: u16,
+) -> Vec<u8> {
+    let mut body = vec![0u8; usize::from(bytes.max(46))];
+    body[..4].copy_from_slice(&seq.to_be_bytes());
+    body[4..10].copy_from_slice(src.mac.as_bytes());
+    wavelan_net::EthernetFrame::build(
+        dst.mac,
+        src.mac,
+        wavelan_net::EtherType::Other(0x88B5),
         &body,
     )
 }
@@ -807,107 +1105,139 @@ mod tests {
 }
 
 #[cfg(test)]
-mod capture_tests {
+mod scripted_tests {
     use super::*;
-    use crate::station::{FrameKind, StationConfig, Traffic};
+    use crate::station::{StationConfig, Traffic};
     use wavelan_net::testpkt::Endpoint;
 
-    /// A weak chatterer and a strong test sender: packets of the strong
-    /// sender that begin while a weak packet is mid-air must capture the
-    /// receiver (and truncate the weak packet's record), never the reverse.
-    #[test]
-    fn strong_packets_capture_over_weak_chatter() {
-        let mut b = ScenarioBuilder::new(505);
+    /// Receiver + a scripted sender: enqueued frames transmit, deliver, and
+    /// snapshots observe monotone counters.
+    fn scripted_pair(seed: u64) -> (Scenario, StationId, StationId) {
+        let mut b = ScenarioBuilder::new(seed);
         let rx = b.station(StationConfig::receiver(
             Endpoint::station(1),
             Point::feet(0.0, 0.0),
         ));
-        // The sender's carrier sense must mask the weak chatter (sensed at
-        // ~level 5), or CSMA defers and test packets never start while a
-        // chatter packet is mid-air — the capture path would go untested.
-        // Threshold 25 makes the sender deaf to the chatterer while the
-        // receiver (default threshold 3) still latches its packets.
         let tx = b.station(StationConfig {
-            thresholds: wavelan_mac::Thresholds {
-                receive_level: 25,
-                quality: 1,
-            },
+            traffic: Traffic::Scripted { peer: rx },
             ..StationConfig::sender(Endpoint::station(2), Point::feet(7.0, 0.0), rx)
         });
-        // A weak foreign chatterer at ~level 5, dense enough to overlap test
-        // packets often; its 2.1 ms frames and the 4.3 ms test frames make
-        // unequal lengths, exercising the start-time lock arbitration.
-        let w = b.next_station_id();
-        let mut weak = StationConfig::sender(Endpoint::foreign(7), Point::feet(395.0, 0.0), w);
-        weak.frame = FrameKind::Chatter;
-        weak.traffic = Traffic::Periodic {
-            peer: rx,
-            interval_ns: 3_000_000,
-        };
-        b.station(weak);
-        let mut scenario = b.build();
-        scenario.propagation.shadowing_sigma_db = 0.0;
-        let mut result = scenario.run(tx, 600);
-        attach_tx_count(&mut result, rx, tx);
-        let trace = result.trace(rx);
-
-        // Every test packet must arrive despite ~70% chatter airtime.
-        let test_rx = trace
-            .records
-            .iter()
-            .filter(|r| r.truth.unwrap().src_station == tx)
-            .count();
-        assert!(test_rx >= 597, "capture failed: {test_rx}/600");
-        // No test packet may be truncated (nothing can capture over them).
-        assert!(trace
-            .records
-            .iter()
-            .filter(|r| r.truth.unwrap().src_station == tx)
-            .all(|r| !r.truth.unwrap().truncated));
-        // Some chatter packets were captured away: logged truncated.
-        let chatter_truncated = trace
-            .records
-            .iter()
-            .filter(|r| r.truth.unwrap().src_station == 2 && r.truth.unwrap().truncated)
-            .count();
-        assert!(chatter_truncated > 10, "{chatter_truncated}");
+        (b.build(), tx, rx)
     }
 
-    /// Equal-power packets do not capture each other: the first holds the
-    /// receiver, the overlapping one is lost (no 6 dB margin).
     #[test]
-    fn equal_power_does_not_capture() {
-        let mut b = ScenarioBuilder::new(502);
+    fn scripted_enqueue_transmits_exactly_the_handed_frames() {
+        let (scenario, tx, rx) = scripted_pair(11);
+        let directives = [
+            Directive {
+                at_ns: 1_000_000,
+                op: DirectiveOp::Enqueue {
+                    station: tx,
+                    packets: 40,
+                    spacing_ns: 6_100_000,
+                },
+            },
+            Directive {
+                at_ns: 400_000_000,
+                op: DirectiveOp::Snapshot { id: 7 },
+            },
+        ];
+        let mut scratch = SimScratch::new();
+        let result = scenario.run_scripted(&directives, 500_000_000, &mut scratch);
+        assert_eq!(result.packets_transmitted[tx], 40);
+        assert!(result.packets_delivered[rx] >= 38, "{}", result.packets_delivered[rx]);
+        assert_eq!(result.snapshots.len(), 1);
+        let snap = &result.snapshots[0];
+        assert_eq!(snap.id, 7);
+        assert_eq!(snap.stations[tx].transmitted, 40);
+        assert_eq!(snap.stations[rx].trace_len, result.trace(rx).len());
+    }
+
+    #[test]
+    fn scripted_runs_are_deterministic() {
+        let (s1, tx, rx) = scripted_pair(5);
+        let (s2, _, _) = scripted_pair(5);
+        let directives = [Directive {
+            at_ns: 0,
+            op: DirectiveOp::Enqueue {
+                station: tx,
+                packets: 25,
+                spacing_ns: 6_100_000,
+            },
+        }];
+        let mut scratch = SimScratch::new();
+        let r1 = s1.run_scripted(&directives, 400_000_000, &mut scratch);
+        let r2 = s2.run_scripted(&directives, 400_000_000, &mut scratch);
+        assert_eq!(r1.traces[rx], r2.traces[rx]);
+        assert_eq!(r1.overlap_count, r2.overlap_count);
+    }
+
+    #[test]
+    fn move_directive_changes_reception_mid_run() {
+        // Sender walks from 7 ft to 1200 ft mid-run: deliveries stop (at
+        // 1200 ft the received power is ≈ −97 dBm, below the level-0 point
+        // of the AGC scale, so the receive-threshold gate rejects frames).
+        let (scenario, tx, rx) = scripted_pair(9);
+        let directives = [
+            Directive {
+                at_ns: 0,
+                op: DirectiveOp::Enqueue {
+                    station: tx,
+                    packets: 30,
+                    spacing_ns: 6_100_000,
+                },
+            },
+            Directive {
+                at_ns: 91_000_000, // after ~15 frames
+                op: DirectiveOp::MoveStation {
+                    station: tx,
+                    to: Point::feet(1200.0, 0.0),
+                },
+            },
+        ];
+        let mut scratch = SimScratch::new();
+        let result = scenario.run_scripted(&directives, 500_000_000, &mut scratch);
+        assert_eq!(result.packets_transmitted[tx], 30);
+        let delivered = result.packets_delivered[rx];
+        assert!(delivered >= 10 && delivered <= 20, "delivered {delivered}");
+    }
+
+    #[test]
+    fn set_traffic_directive_starts_and_stops_a_sender() {
+        let mut b = ScenarioBuilder::new(21);
         let rx = b.station(StationConfig::receiver(
             Endpoint::station(1),
             Point::feet(0.0, 0.0),
         ));
-        // Two deaf saturating senders at the same distance: their packets
-        // overlap heavily and neither can capture the other.
-        let s1 = b.next_station_id();
-        b.station(StationConfig::jammer(
-            Endpoint::station(2),
-            Point::feet(10.0, 0.0),
-            s1 + 1,
-        ));
-        b.station(StationConfig::jammer(
-            Endpoint::foreign(3),
-            Point::feet(0.0, 10.0),
-            s1,
-        ));
-        let mut scenario = b.build();
-        scenario.propagation.shadowing_sigma_db = 0.0;
-        let result = scenario.run_for(500_000_000);
-        let trace = result.trace(rx);
-        // The receiver logs roughly the serialized share, and every logged
-        // record is complete up to its own length (no capture truncations —
-        // equal power cannot capture).
-        assert!(trace.len() > 30, "{}", trace.len());
-        let captured = trace
-            .records
-            .iter()
-            .filter(|r| r.truth.unwrap().truncated)
-            .count();
-        assert_eq!(captured, 0, "equal-power capture occurred");
+        let tx = b.station(StationConfig {
+            traffic: Traffic::None,
+            record_trace: false,
+            ..StationConfig::receiver(Endpoint::station(2), Point::feet(7.0, 0.0))
+        });
+        let scenario = b.build();
+        let directives = [
+            Directive {
+                at_ns: 10_000_000,
+                op: DirectiveOp::SetTraffic {
+                    station: tx,
+                    traffic: Traffic::Periodic {
+                        peer: rx,
+                        interval_ns: 6_100_000,
+                    },
+                },
+            },
+            Directive {
+                at_ns: 110_000_000,
+                op: DirectiveOp::SetTraffic {
+                    station: tx,
+                    traffic: Traffic::None,
+                },
+            },
+        ];
+        let mut scratch = SimScratch::new();
+        let result = scenario.run_scripted(&directives, 600_000_000, &mut scratch);
+        let sent = result.packets_transmitted[tx];
+        // ~100 ms of periodic sending at 6.1 ms — and nothing after the stop.
+        assert!(sent >= 15 && sent <= 19, "sent {sent}");
     }
 }

@@ -22,6 +22,13 @@ pub enum FrameKind {
     /// determine that they were ARP packets or inter-bridge routing
     /// packets").
     Chatter,
+    /// A test-style frame with an explicit body size in bytes — the knob the
+    /// pulsed-interference sweeps turn (packet length vs. interferer duty
+    /// cycle, after Zarikoff & Leith).
+    Sized {
+        /// Ethernet body length, bytes (clamped to at least 46).
+        bytes: u16,
+    },
 }
 
 /// How a station generates traffic.
@@ -42,6 +49,14 @@ pub enum Traffic {
     /// Saturating: enqueue the next packet as soon as the previous one ends —
     /// the Section 7.4 jammers "configured to transmit packets continuously".
     Saturate {
+        /// Destination station.
+        peer: StationId,
+    },
+    /// Script-driven: the station transmits only when a scripted `Enqueue`
+    /// directive hands it frames (see
+    /// [`crate::runner::Scenario::run_scripted`]). Frames arriving while one
+    /// is still pending queue up in [`Station::backlog`].
+    Scripted {
         /// Destination station.
         peer: StationId,
     },
@@ -161,6 +176,18 @@ pub struct Station {
     /// Acquired packets the link model nevertheless lost (preamble miss or
     /// host overrun).
     pub rx_lost: u64,
+    /// Packets this station delivered up its receive path (passed both
+    /// thresholds), whether or not it records a trace.
+    pub packets_delivered: u64,
+    /// Of the delivered packets, how many were cut short (capture cut or
+    /// PHY unlock) — the numerator of the paper's truncation rows.
+    pub packets_truncated_rx: u64,
+    /// Times this receiver abandoned a locked packet because a ≥-margin
+    /// stronger one captured it (Section 7.4's conjectured capture effect).
+    pub captures_made: u64,
+    /// Scripted frames waiting behind the pending one (only used by
+    /// [`Traffic::Scripted`] stations).
+    pub backlog: u64,
     /// The promiscuous log, if this station records one.
     pub trace: Option<Trace>,
 }
@@ -181,6 +208,10 @@ impl Station {
             packets_filtered: 0,
             offers_rejected_busy: 0,
             rx_lost: 0,
+            packets_delivered: 0,
+            packets_truncated_rx: 0,
+            captures_made: 0,
+            backlog: 0,
             trace,
         }
     }
@@ -189,7 +220,9 @@ impl Station {
     pub fn peer(&self) -> Option<StationId> {
         match self.config.traffic {
             Traffic::None => None,
-            Traffic::Periodic { peer, .. } | Traffic::Saturate { peer } => Some(peer),
+            Traffic::Periodic { peer, .. }
+            | Traffic::Saturate { peer }
+            | Traffic::Scripted { peer } => Some(peer),
         }
     }
 }
