@@ -41,6 +41,26 @@ cargo run --release -p wavelan-bench --bin repro -- --check-json FIDELITY.json
 cargo run --release -p wavelan-bench --bin repro -- --scale smoke --serve-bench BENCH_PR5.json
 cargo run --release -p wavelan-bench --bin repro -- --check-json BENCH_PR5.json
 
+# FEC hot-path gate: regenerate the decode-heavy artifacts' throughput and
+# fail if either regresses below 10x the PR5-era baseline (fec 1,079.6 and
+# harq 1,154.8 pkt/s — generous slack under the ≥20x this PR landed, so
+# host noise cannot flap the gate while a real kernel regression still
+# trips it). The `fec_hotpath` criterion bench compiles under the
+# `cargo bench --no-run` gate above.
+cargo run --release -p wavelan-bench --bin repro -- fec harq --scale smoke --timing-json BENCH_PR7.json
+cargo run --release -p wavelan-bench --bin repro -- --check-json BENCH_PR7.json
+for artifact in fec harq; do
+    # Field extraction robust to the serializer's layout (it compacts
+    # short objects onto one line): split the entry on commas first.
+    pps=$(grep -A 4 "\"artifact\": \"$artifact\"" BENCH_PR7.json \
+        | tr ',' '\n' | grep '"pkt_per_sec"' | head -n 1 | tr -dc '0-9.')
+    floor=$([ "$artifact" = fec ] && echo 10796 || echo 11548)
+    awk -v v="$pps" -v floor="$floor" 'BEGIN { exit !(v >= floor) }' || {
+        echo "FEC hot-path regression: $artifact at $pps pkt/s (floor $floor)" >&2
+        exit 1
+    }
+done
+
 # Daemon smoke test: boot `repro serve` as a real separate process on an
 # ephemeral port, poll /healthz, fetch one artifact and byte-compare it to
 # the CLI's JSON, check /metrics parses, then confirm SIGTERM drains with

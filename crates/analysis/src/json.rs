@@ -200,7 +200,11 @@ impl SerializeMap for JsonMap {
             Err(e) => match e {},
         };
         // JSON object keys must be strings; quote non-string keys wholesale.
-        let key = if key.starts_with('"') { key } else { quote(&key) };
+        let key = if key.starts_with('"') {
+            key
+        } else {
+            quote(&key)
+        };
         self.push_entry(key, &value);
         Ok(())
     }
@@ -309,7 +313,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -496,7 +504,8 @@ impl<'a> Parser<'a> {
                                 let code = 0x10000
                                     + ((u32::from(hi) - 0xD800) << 10)
                                     + (u32::from(lo) - 0xDC00);
-                                char::from_u32(code).ok_or_else(|| self.error("bad surrogate pair"))?
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("bad surrogate pair"))?
                             } else {
                                 char::from_u32(u32::from(hi))
                                     .ok_or_else(|| self.error("bad \\u escape"))?
@@ -537,8 +546,8 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let lexeme = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number lexemes are ASCII");
+        let lexeme =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number lexemes are ASCII");
         if lexeme.is_empty() || lexeme == "-" || lexeme.parse::<f64>().is_err() {
             return Err(self.error("bad number"));
         }
@@ -582,12 +591,10 @@ mod tests {
 
     #[test]
     fn parse_round_trip() {
-        let doc = "{\n  \"name\": \"x\\n\",\n  \"vals\": [1, -2.5, 1e3, null, true],\n  \"sub\": {}\n}\n";
+        let doc =
+            "{\n  \"name\": \"x\\n\",\n  \"vals\": [1, -2.5, 1e3, null, true],\n  \"sub\": {}\n}\n";
         let value = parse(doc).expect("parses");
-        assert_eq!(
-            value.get("name"),
-            Some(&Value::Str("x\n".to_string()))
-        );
+        assert_eq!(value.get("name"), Some(&Value::Str("x\n".to_string())));
         // Printing canonicalizes lexemes like `1e3`; after one print the
         // parse → print cycle is a fixed point.
         let reprinted = to_string_pretty(&value);

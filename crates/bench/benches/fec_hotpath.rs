@@ -1,0 +1,126 @@
+//! FEC decode hot-path benchmarks: the fixed-point bit-sliced Viterbi
+//! kernels against the retained f64 reference, the full RCPC codec path
+//! the experiment drivers run, and a complete IR-HARQ exchange.
+//!
+//! The acceptance bar for this PR is ≥20x packets/sec on the `fec` and
+//! `harq` artifacts; these benches isolate the layers that deliver it so
+//! a kernel regression is visible without re-running whole artifacts.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wavelan_fec::convolutional::{bytes_to_bits, ConvolutionalEncoder};
+use wavelan_fec::harq::run_harq_encoded_with;
+use wavelan_fec::rcpc::{CodeRate, RcpcCodec};
+use wavelan_fec::{BlockInterleaver, FecScratch, ViterbiDecoder};
+
+/// Payload size of the heavy experiment frames (adaptive-FEC replay, the
+/// larger HARQ shootout arm).
+const PAYLOAD_BYTES: usize = 1_024;
+
+/// A terminated mother codeword for `PAYLOAD_BYTES` of patterned payload,
+/// plus the ±1 integer symbols a hard-decision receive produces (with a
+/// sprinkling of bit errors so the decode does real work).
+fn mother_qsyms(seed: u64) -> Vec<i16> {
+    let payload: Vec<u8> = (0..PAYLOAD_BYTES).map(|i| (i * 29) as u8).collect();
+    let mother = ConvolutionalEncoder::new().encode_terminated(&bytes_to_bits(&payload));
+    let mut rng = StdRng::seed_from_u64(seed);
+    mother
+        .iter()
+        .map(|&b| {
+            let tx = if b == 1 { 1i16 } else { -1i16 };
+            if rng.gen::<f64>() < 0.02 {
+                -tx
+            } else {
+                tx
+            }
+        })
+        .collect()
+}
+
+/// Per-kernel decode of one 1,024-byte frame: the number that moved ~100x
+/// in this PR. Kernels the host lacks are silently skipped.
+fn viterbi_kernels(c: &mut Criterion) {
+    let qsyms = mother_qsyms(7);
+    let soft: Vec<f64> = qsyms.iter().map(|&q| f64::from(q)).collect();
+    let mut g = c.benchmark_group("fec_hotpath/viterbi");
+    g.throughput(Throughput::Elements(1));
+    for name in ["scalar", "avx2", "avx512"] {
+        let Some(dec) = ViterbiDecoder::with_kernel(name) else {
+            continue;
+        };
+        g.bench_function(name, |b| {
+            let mut scratch = FecScratch::new();
+            let mut out = Vec::new();
+            b.iter(|| {
+                dec.decode_quantized_with(std::hint::black_box(&qsyms), &mut scratch, &mut out)
+            })
+        });
+    }
+    g.bench_function("f64_reference", |b| {
+        let dec = ViterbiDecoder::new();
+        b.iter(|| dec.decode_terminated_reference(std::hint::black_box(&soft)))
+    });
+    g.finish();
+}
+
+/// The adaptive-FEC replay path: deinterleave + depuncture + decode of a
+/// damaged frame at the strongest and weakest RCPC rates.
+fn rcpc_replay(c: &mut Criterion) {
+    let codec = RcpcCodec::new();
+    let interleaver = BlockInterleaver::new(64, 128);
+    let payload: Vec<u8> = (0..PAYLOAD_BYTES).map(|i| (i * 29) as u8).collect();
+    let mut g = c.benchmark_group("fec_hotpath/rcpc");
+    g.throughput(Throughput::Elements(1));
+    for (label, rate) in [("r1_2", CodeRate::R1_2), ("r8_9", CodeRate::R8_9)] {
+        let mut wire = interleaver.interleave(&codec.encode(&payload, rate));
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..40 {
+            let i = rng.gen_range(0..wire.len());
+            wire[i] ^= 1;
+        }
+        g.bench_function(label, |b| {
+            let mut scratch = FecScratch::new();
+            let mut received = Vec::new();
+            let mut decoded = Vec::new();
+            b.iter(|| {
+                interleaver.deinterleave_into(std::hint::black_box(&wire), &mut received);
+                codec.decode_hard_with(&received, PAYLOAD_BYTES, rate, &mut scratch, &mut decoded);
+            })
+        });
+    }
+    g.finish();
+}
+
+/// A full IR-HARQ exchange (encoded-mother entry point, as the shootout
+/// driver calls it) over a 2% bit-flip channel.
+fn harq_exchange(c: &mut Criterion) {
+    let payload: Vec<u8> = (0..PAYLOAD_BYTES).map(|i| (i * 29) as u8).collect();
+    let mother = ConvolutionalEncoder::new().encode_terminated(&bytes_to_bits(&payload));
+    let mut g = c.benchmark_group("fec_hotpath/harq");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("exchange_p02", |b| {
+        let mut scratch = FecScratch::new();
+        let mut rng = StdRng::seed_from_u64(13);
+        b.iter(|| {
+            run_harq_encoded_with(
+                &payload,
+                std::hint::black_box(&mother),
+                12,
+                |bit| {
+                    let tx = if bit == 1 { 1.0 } else { -1.0 };
+                    if rng.gen::<f64>() < 0.02 {
+                        -tx
+                    } else {
+                        tx
+                    }
+                },
+                &mut scratch,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, viterbi_kernels, rcpc_replay, harq_exchange);
+criterion_main!(benches);

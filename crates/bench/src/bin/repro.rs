@@ -483,7 +483,9 @@ fn write_json_or_die(path: &str, json: &str) {
 /// `--http-get URL`: fetch, print the body, exit 0 only on HTTP 200.
 fn http_get(url: &str) -> ! {
     if wavelan_serve::client::split_url(url).is_none() {
-        usage_error(&format!("--http-get needs an http://host:port/path URL, got {url:?}"));
+        usage_error(&format!(
+            "--http-get needs an http://host:port/path URL, got {url:?}"
+        ));
     }
     match wavelan_serve::client::get_url(url, Duration::from_secs(60)) {
         Ok(response) => {
@@ -513,18 +515,22 @@ fn bench_serve(artifact: &str, scale: Scale, seed: u64) -> Result<ServeBench, St
         },
     )
     .map_err(|e| format!("bind: {e}"))?;
-    let addr = server.local_addr().map_err(|e| format!("addr: {e}"))?.to_string();
+    let addr = server
+        .local_addr()
+        .map_err(|e| format!("addr: {e}"))?
+        .to_string();
     let handle = server.shutdown_handle();
     let daemon = std::thread::spawn(move || server.run());
-    let ready = (0..200).any(|_| {
-        match client::get(&addr, "/healthz", Duration::from_millis(250)) {
-            Ok(r) if r.status == 200 => true,
-            _ => {
-                std::thread::sleep(Duration::from_millis(10));
-                false
-            }
-        }
-    });
+    let ready =
+        (0..200).any(
+            |_| match client::get(&addr, "/healthz", Duration::from_millis(250)) {
+                Ok(r) if r.status == 200 => true,
+                _ => {
+                    std::thread::sleep(Duration::from_millis(10));
+                    false
+                }
+            },
+        );
     if !ready {
         handle.request();
         let _ = daemon.join();

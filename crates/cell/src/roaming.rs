@@ -79,7 +79,10 @@ impl RoamReport {
                     .sep("")
                     .suffix("ft")
                     .header_width(3),
-                Column::new("cell", "cell").width(3).sep("  ").header_width(6),
+                Column::new("cell", "cell")
+                    .width(3)
+                    .sep("  ")
+                    .header_width(6),
                 Column::new("level", "level").width(6).precision(1),
                 Column::new("client_delivery_pct", "client-delivery")
                     .width(14)

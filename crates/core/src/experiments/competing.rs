@@ -192,7 +192,9 @@ fn run_trial(
     // Bound the run: at threshold 3 the victim may never finish its quota.
     let mut result = scenario.run_with_limit_in(tx_id, packets, 120_000_000_000, scratch);
     attach_tx_count(&mut result, rx_id, tx_id);
-    let trace = result.traces[rx_id].clone().expect("receiver records");
+    // Take, don't clone: the trace is dropped with `result` anyway, and at
+    // paper scale it holds tens of thousands of per-packet records.
+    let trace = result.traces[rx_id].take().expect("receiver records");
     CompetingTrial {
         name,
         analysis: analyze(&trace, &expected_series()),

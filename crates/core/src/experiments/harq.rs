@@ -25,9 +25,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use wavelan_analysis::report::{render_blocks, Cell, Column, Table};
 use wavelan_analysis::{Block, Report};
-use wavelan_fec::harq::run_harq;
+use wavelan_fec::harq::run_harq_encoded_with;
 use wavelan_fec::rcpc::{CodeRate, RcpcCodec};
-use wavelan_fec::BlockInterleaver;
+use wavelan_fec::{BlockInterleaver, FecScratch};
 use wavelan_phy::gilbert::GilbertElliott;
 
 /// Payload sizes for the shootout: a short frame (where the paper expects
@@ -117,7 +117,11 @@ impl HarqResult {
                     Column::new("delivered", "delivered")
                         .width(6)
                         .header_width(9),
-                    Column::new("packets", "").width(3).left().sep("/").no_header(),
+                    Column::new("packets", "")
+                        .width(3)
+                        .left()
+                        .sep("/")
+                        .no_header(),
                     Column::new("channel_bits", "chan bits").width(10),
                     Column::new("goodput_pct", "goodput")
                         .width(8)
@@ -197,10 +201,53 @@ impl Experiment for Harq {
     }
 }
 
-/// Corrupts a bit stream in place according to a Gilbert–Elliott error mask.
-fn apply_channel(bits: &mut [u8], channel: &GilbertElliott, rng: &mut StdRng) {
-    let mask = channel.generate(bits.len(), rng);
-    for (bit, err) in bits.iter_mut().zip(mask) {
+/// Per-worker scratch for the shootout trials: the FEC decode workspace plus
+/// every driver-side buffer a frame cycle needs, so the steady-state loop is
+/// allocation-free. Carried across trials by [`Executor::map_with`]; holds
+/// no trial-observable data (each trial seeds its own RNG from its payload
+/// size), so determinism is unaffected by scheduling.
+struct ShootoutScratch {
+    fec: FecScratch,
+    /// Gilbert–Elliott error-mask buffer for [`apply_channel`].
+    mask: Vec<bool>,
+    /// Frame bits on the wire (plain ARQ and fixed FEC).
+    frame: Vec<u8>,
+    /// Deinterleaved coded bits.
+    received: Vec<u8>,
+    /// Decoded payload.
+    decoded: Vec<u8>,
+}
+
+impl ShootoutScratch {
+    fn new() -> ShootoutScratch {
+        ShootoutScratch {
+            fec: FecScratch::new(),
+            mask: Vec::new(),
+            frame: Vec::new(),
+            received: Vec::new(),
+            decoded: Vec::new(),
+        }
+    }
+}
+
+/// Draws a Gilbert–Elliott error mask for a frame of `len` bits and returns
+/// the number of errors in it. The mask buffer is caller-provided; RNG draws
+/// match the original corrupt-in-place formulation exactly (the mask is the
+/// only part of that formulation that consumed randomness).
+fn channel_mask(
+    len: usize,
+    channel: &GilbertElliott,
+    rng: &mut StdRng,
+    mask: &mut Vec<bool>,
+) -> usize {
+    channel.generate_into(len, rng, mask);
+    mask.iter().filter(|&&e| e).count()
+}
+
+/// Corrupts a bit stream in place according to an error mask drawn by
+/// [`channel_mask`].
+fn apply_mask(bits: &mut [u8], mask: &[bool]) {
+    for (bit, &err) in bits.iter_mut().zip(mask.iter()) {
         if err {
             *bit ^= 1;
         }
@@ -217,30 +264,47 @@ pub fn run(scale: Scale, seed: u64) -> HarqResult {
 /// owns an RNG keyed by its payload size).
 pub fn run_with(scale: Scale, seed: u64, exec: &Executor) -> HarqResult {
     // 1–2: measured channel (ss_phone keeps analyses, not raw traces, so
-    // the fit works from the aggregate error statistics).
-    let ss = ss_phone::run_with(scale, seed, exec);
-    let trial = ss.trial("AT&T handset");
-    let channel = fit_channel_from_trial(trial);
+    // the fit works from the aggregate error statistics). Only the
+    // AT&T-handset trial is needed; its RNG stream is independent of the
+    // other five, so running it alone is bit-identical.
+    let trial = ss_phone::run_trial("AT&T handset", scale, seed);
+    let channel = fit_channel_from_trial(&trial);
 
     let packets = (scale.packets(1_440) / 3).max(120) as usize;
-    let shootouts = exec.map(PAYLOAD_SIZES.to_vec(), |_, size| {
-        shootout(&channel, size, packets, seed)
-    });
+    let shootouts = exec.map_with(
+        PAYLOAD_SIZES.to_vec(),
+        ShootoutScratch::new,
+        |scr, _, size| shootout(&channel, size, packets, seed, scr),
+    );
     HarqResult { channel, shootouts }
 }
 
-/// Runs the three strategies at one payload size.
+/// Runs the three strategies at one payload size. Everything deterministic
+/// is hoisted out of the per-packet loops — the uncoded frame bits and the
+/// encoded+interleaved rate-1/2 wire image are pure functions of the payload
+/// — and every buffer comes from the per-worker scratch, so the loops only
+/// draw channel randomness and decode. RNG draw order per packet is
+/// identical to the original build-per-frame formulation.
 fn shootout(
     channel: &GilbertElliott,
     payload_bytes: usize,
     packets: usize,
     seed: u64,
+    scr: &mut ShootoutScratch,
 ) -> SizeShootout {
+    let ShootoutScratch {
+        fec,
+        mask,
+        frame,
+        received,
+        decoded,
+    } = scr;
     let mut rng = StdRng::seed_from_u64(seed ^ 0x4A59 ^ payload_bytes as u64);
     let codec = RcpcCodec::new();
     let payload: Vec<u8> = (0..payload_bytes).map(|i| (i * 29) as u8).collect();
 
     // --- Plain ARQ: uncoded, retransmit whole frame until intact (cap 16). ---
+    let payload_bits = wavelan_fec::convolutional::bytes_to_bits(&payload);
     let mut plain = StrategyOutcome {
         name: "plain-arq",
         packets,
@@ -250,10 +314,11 @@ fn shootout(
     };
     for _ in 0..packets {
         for _attempt in 0..16 {
-            let mut bits = wavelan_fec::convolutional::bytes_to_bits(&payload);
-            plain.channel_bits += bits.len();
-            apply_channel(&mut bits, channel, &mut rng);
-            if wavelan_fec::convolutional::bits_to_bytes(&bits) == payload {
+            plain.channel_bits += payload_bits.len();
+            // An uncoded frame survives iff the error mask is empty, so the
+            // frame copy, corruption and comparison all collapse into the
+            // mask's error count (RNG draws are the mask's alone).
+            if channel_mask(payload_bits.len(), channel, &mut rng, mask) == 0 {
                 plain.delivered += 1;
                 plain.info_bits += payload_bytes * 8;
                 break;
@@ -263,6 +328,7 @@ fn shootout(
 
     // --- Fixed rate-1/2 FEC with interleaving, single shot. ---
     let interleaver = BlockInterleaver::new(64, 66);
+    let wire_template = interleaver.interleave(&codec.encode(&payload, CodeRate::R1_2));
     let mut fixed = StrategyOutcome {
         name: "fec-1/2",
         packets,
@@ -271,18 +337,28 @@ fn shootout(
         info_bits: 0,
     };
     for _ in 0..packets {
-        let coded = codec.encode(&payload, CodeRate::R1_2);
-        let mut wire = interleaver.interleave(&coded);
-        fixed.channel_bits += wire.len();
-        apply_channel(&mut wire, channel, &mut rng);
-        let received = interleaver.deinterleave(&wire);
-        if codec.decode_hard(&received, payload_bytes, CodeRate::R1_2) == payload {
+        fixed.channel_bits += wire_template.len();
+        if channel_mask(wire_template.len(), channel, &mut rng, mask) == 0 {
+            // Clean frame: decode(encode(payload)) == payload (the codec
+            // round-trip property), so the decode is skipped outright.
+            fixed.delivered += 1;
+            fixed.info_bits += payload_bytes * 8;
+            continue;
+        }
+        frame.clear();
+        frame.extend_from_slice(&wire_template);
+        apply_mask(frame, mask);
+        interleaver.deinterleave_into(frame, received);
+        codec.decode_hard_with(received, payload_bytes, CodeRate::R1_2, fec, decoded);
+        if *decoded == payload {
             fixed.delivered += 1;
             fixed.info_bits += payload_bytes * 8;
         }
     }
 
     // --- IR-HARQ. ---
+    let mother =
+        wavelan_fec::convolutional::ConvolutionalEncoder::new().encode_terminated(&payload_bits);
     let mut harq = StrategyOutcome {
         name: "ir-harq",
         packets,
@@ -292,22 +368,32 @@ fn shootout(
     };
     for _ in 0..packets {
         let mut ge_rng = StdRng::seed_from_u64(rand::Rng::gen(&mut rng));
-        // Per-bit channel closure backed by a fresh GE walk.
-        let mut state_errors: Vec<bool> = Vec::new();
+        // Per-bit channel closure backed by an incremental GE walk with the
+        // historical 4,096-bit chunk boundaries (stationary redraw at each).
+        // Consumed bits are identical to generating whole chunks; the walk
+        // just never draws a chunk's unconsumed tail — `ge_rng` is fresh per
+        // packet, so those skipped draws are observable by nothing.
+        let mut walk = channel.walker();
         let mut idx = 0usize;
-        let outcome = run_harq(&payload, 12, |bit| {
-            if idx >= state_errors.len() {
-                state_errors.extend(channel.generate(4_096, &mut ge_rng));
-            }
-            let flipped = state_errors[idx];
-            idx += 1;
-            let tx = if bit == 1 { 1.0 } else { -1.0 };
-            if flipped {
-                -tx
-            } else {
-                tx
-            }
-        });
+        let outcome = run_harq_encoded_with(
+            &payload,
+            &mother,
+            12,
+            |bit| {
+                if idx.is_multiple_of(4_096) {
+                    walk.restart(&mut ge_rng);
+                }
+                idx += 1;
+                let flipped = walk.next(&mut ge_rng);
+                let tx = if bit == 1 { 1.0 } else { -1.0 };
+                if flipped {
+                    -tx
+                } else {
+                    tx
+                }
+            },
+            fec,
+        );
         harq.channel_bits += outcome.bits_sent;
         if outcome.delivered {
             harq.delivered += 1;

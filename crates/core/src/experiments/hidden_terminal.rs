@@ -57,7 +57,11 @@ impl HiddenTerminalResult {
         let table = Table {
             heading: None,
             columns: vec![
-                Column::new("config", "").width(26).left().sep("").no_header(),
+                Column::new("config", "")
+                    .width(26)
+                    .left()
+                    .sep("")
+                    .no_header(),
                 Column::new("delivered_pct", "")
                     .sep(" near link delivers ")
                     .precision(1)

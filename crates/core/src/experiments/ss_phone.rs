@@ -263,42 +263,64 @@ pub fn run(scale: Scale, seed: u64) -> SsPhoneResult {
 /// [`run`] on an explicit executor; the six trials fan out independently.
 pub fn run_with(scale: Scale, seed: u64, exec: &Executor) -> SsPhoneResult {
     let packets = scale.packets(PAPER_PACKETS);
-    let trials = exec.map_with(
-        trial_specs(),
-        SimScratch::new,
-        |scratch, i, (name, phones, outsiders)| {
-            let mut b = ScenarioBuilder::new(trial_seed(EXPERIMENT_ID, i as u64, seed));
-            let rx = b.station(StationConfig::receiver(
-                test_receiver(),
-                Point::feet(0.0, 0.0),
-            ));
-            let tx = b.station(StationConfig::sender(
-                test_sender(),
-                Point::feet(12.0, 0.0),
-                rx,
-            ));
-            if outsiders {
-                add_outsider_pair(&mut b, Point::feet(-430.0, 60.0), Point::feet(-540.0, 80.0));
-            }
-            for phone in phones {
-                b.ambient(phone);
-            }
-            let mut scenario = b.build();
-            // The six trials share one physical placement; Table 12's tight
-            // per-trial level spreads say shadowing must not vary, so pin it.
-            let mut prop = Propagation::indoor(seed);
-            prop.shadowing_sigma_db = 0.0;
-            scenario.propagation = prop;
-            let mut result = scenario.run_in(tx, packets, scratch);
-            attach_tx_count(&mut result, rx, tx);
-            let trace = result.traces[rx].clone().expect("receiver records");
-            SsPhoneTrial {
-                name,
-                analysis: analyze(&trace, &expected_series()),
-            }
-        },
-    );
+    let trials = exec.map_with(trial_specs(), SimScratch::new, |scratch, i, spec| {
+        run_spec(i, spec, packets, seed, scratch)
+    });
     SsPhoneResult { trials }
+}
+
+/// Runs **one** named trial. Every trial seeds its own RNG stream purely
+/// from its spec index ([`trial_seed`]), so a single trial is bit-identical
+/// to the same slot of [`run_with`] at a sixth of the cost — this is what
+/// the downstream `fec`/`harq` experiments use, since they replay only the
+/// "AT&T handset" environment.
+pub fn run_trial(name: &str, scale: Scale, seed: u64) -> SsPhoneTrial {
+    let packets = scale.packets(PAPER_PACKETS);
+    let (i, spec) = trial_specs()
+        .into_iter()
+        .enumerate()
+        .find(|(_, s)| s.0 == name)
+        .expect("trial exists");
+    run_spec(i, spec, packets, seed, &mut SimScratch::new())
+}
+
+/// One trial: build the scenario, run the channel, analyze the trace.
+fn run_spec(
+    i: usize,
+    (name, phones, outsiders): (&'static str, Vec<AmbientSource>, bool),
+    packets: u64,
+    seed: u64,
+    scratch: &mut SimScratch,
+) -> SsPhoneTrial {
+    let mut b = ScenarioBuilder::new(trial_seed(EXPERIMENT_ID, i as u64, seed));
+    let rx = b.station(StationConfig::receiver(
+        test_receiver(),
+        Point::feet(0.0, 0.0),
+    ));
+    let tx = b.station(StationConfig::sender(
+        test_sender(),
+        Point::feet(12.0, 0.0),
+        rx,
+    ));
+    if outsiders {
+        add_outsider_pair(&mut b, Point::feet(-430.0, 60.0), Point::feet(-540.0, 80.0));
+    }
+    for phone in phones {
+        b.ambient(phone);
+    }
+    let mut scenario = b.build();
+    // The six trials share one physical placement; Table 12's tight
+    // per-trial level spreads say shadowing must not vary, so pin it.
+    let mut prop = Propagation::indoor(seed);
+    prop.shadowing_sigma_db = 0.0;
+    scenario.propagation = prop;
+    let mut result = scenario.run_in(tx, packets, scratch);
+    attach_tx_count(&mut result, rx, tx);
+    let trace = result.traces[rx].take().expect("receiver records");
+    SsPhoneTrial {
+        name,
+        analysis: analyze(&trace, &expected_series()),
+    }
 }
 
 #[cfg(test)]

@@ -77,8 +77,12 @@ impl TdmaResult {
                     .precision(1)
                     .suffix("%")
                     .header_width(10),
-                Column::new("csma_fairness", "csma fair").width(10).precision(3),
-                Column::new("tdma_fairness", "tdma fair").width(10).precision(3),
+                Column::new("csma_fairness", "csma fair")
+                    .width(10)
+                    .precision(3),
+                Column::new("tdma_fairness", "tdma fair")
+                    .width(10)
+                    .precision(3),
             ],
             rows: self
                 .samples

@@ -59,7 +59,9 @@ impl ThresholdResult {
             )),
             columns: vec![
                 Column::new("threshold", "threshold").width(9).sep(""),
-                Column::new("filtered_pct", "filtered%").width(10).precision(1),
+                Column::new("filtered_pct", "filtered%")
+                    .width(10)
+                    .precision(1),
                 Column::new("collision_free_pct", "collision-free%")
                     .width(16)
                     .precision(1),

@@ -141,7 +141,10 @@ mod tests {
     fn lookup_resolves_names_and_aliases() {
         assert_eq!(find("table2").expect("found").artifact_name(), "table2");
         assert_eq!(find("table6").expect("found").artifact_name(), "table5-7");
-        assert_eq!(find("table12").expect("found").artifact_name(), "table11-13");
+        assert_eq!(
+            find("table12").expect("found").artifact_name(),
+            "table11-13"
+        );
         assert!(find("table99").is_none());
     }
 }

@@ -12,7 +12,10 @@ use super::error::ScenarioError;
 use super::model::{Action, Knob, Require, Role, ScenarioScript, StationSpec, TrafficSpec};
 use std::collections::{BTreeMap, HashMap};
 use wavelan_sim::station::{FrameKind, Traffic};
-use wavelan_sim::{Directive, DirectiveOp, Point, Scenario as SimScenario, ScenarioBuilder, StationConfig, StationId};
+use wavelan_sim::{
+    Directive, DirectiveOp, Point, Scenario as SimScenario, ScenarioBuilder, StationConfig,
+    StationId,
+};
 
 /// A mid-run probe: an `assert` event lowered to a counter snapshot plus the
 /// condition judged against it.
@@ -261,7 +264,10 @@ impl ScenarioScript {
                     if *duration_ns == 0 {
                         directives.push(Directive {
                             at_ns,
-                            op: DirectiveOp::MoveStation { station: id, to: *to },
+                            op: DirectiveOp::MoveStation {
+                                station: id,
+                                to: *to,
+                            },
                         });
                     } else {
                         // A linear walk: `steps` hops, arriving exactly at
@@ -274,7 +280,10 @@ impl ScenarioScript {
                             );
                             directives.push(Directive {
                                 at_ns: at_ns + duration_ns * k / steps,
-                                op: DirectiveOp::MoveStation { station: id, to: pos },
+                                op: DirectiveOp::MoveStation {
+                                    station: id,
+                                    to: pos,
+                                },
                             });
                         }
                     }

@@ -103,10 +103,17 @@ impl fmt::Display for ScenarioError {
                 write!(f, "duplicate event name {event:?}")
             }
             ScenarioError::UnknownDependency { event, dependency } => {
-                write!(f, "event {event:?} happens after unknown event {dependency:?}")
+                write!(
+                    f,
+                    "event {event:?} happens after unknown event {dependency:?}"
+                )
             }
             ScenarioError::Cycle { events } => {
-                write!(f, "happens-after cycle: events {} can never fire", events.join(", "))
+                write!(
+                    f,
+                    "happens-after cycle: events {} can never fire",
+                    events.join(", ")
+                )
             }
             ScenarioError::DuplicateStation { event, station } => {
                 write!(f, "event {event:?} re-places station {station:?}")
@@ -120,7 +127,11 @@ impl fmt::Display for ScenarioError {
                     "placement event {event:?} would fire after t=0; places cannot happen after time-advancing events"
                 )
             }
-            ScenarioError::KnobNotScriptable { event, knob, detail } => {
+            ScenarioError::KnobNotScriptable {
+                event,
+                knob,
+                detail,
+            } => {
                 write!(f, "event {event:?} cannot set knob {knob}: {detail}")
             }
             ScenarioError::NotScripted { event, station } => {

@@ -7,9 +7,7 @@
 //! scenarios fan their cells out through the deterministic [`Executor`], so
 //! `--jobs 1` and `--jobs 8` produce bit-identical reports.
 
-use super::model::{
-    Action, Cmp, Knob, Quantity, Require, Role, ScenarioScript, StationSpec,
-};
+use super::model::{Action, Cmp, Knob, Quantity, Require, Role, ScenarioScript, StationSpec};
 use super::run::{Judgment, ScenarioOutcome};
 use crate::executor::{trial_seed, Executor};
 use crate::Scale;
@@ -739,17 +737,14 @@ pub fn oven_sweep(seed: u64, scale: Scale, exec: &Executor) -> ScenarioRun {
             })
         })
         .collect();
-    let outcomes: Vec<(OvenCell, ScenarioOutcome)> = exec.map_with(
-        cells,
-        SimScratch::new,
-        move |scratch, index, cell| {
+    let outcomes: Vec<(OvenCell, ScenarioOutcome)> =
+        exec.map_with(cells, SimScratch::new, move |scratch, index, cell| {
             let script = oven_cell(trial_seed(STREAM_OVEN, index as u64, seed), cell, packets);
             let compiled = script
                 .compile()
                 .unwrap_or_else(|e| panic!("oven cell must compile: {e}"));
             (cell, compiled.run_in(scratch))
-        },
-    );
+        });
 
     // Judgments: every cell's, then the sweep-shape conditions. Intact
     // delivery must not *improve* when packets get longer at a fixed duty
@@ -761,7 +756,11 @@ pub fn oven_sweep(seed: u64, scale: Scale, exec: &Executor) -> ScenarioRun {
             .iter()
             .find(|(c, _)| c.duty_percent == duty && c.body_bytes == body)
             .expect("full grid");
-        let name = if duty == 0 { "clean-control-row" } else { "link-alive" };
+        let name = if duty == 0 {
+            "clean-control-row"
+        } else {
+            "link-alive"
+        };
         judged_value(outcome, name)
     };
     let mut judgments: Vec<Judgment> = Vec::new();
@@ -858,10 +857,8 @@ pub fn dense_cell_matrix(seed: u64, scale: Scale, exec: &Executor) -> ScenarioRu
                 .map(move |&far_ft| DenseCell { near_ft, far_ft })
         })
         .collect();
-    let outcomes: Vec<(DenseCell, ScenarioOutcome, f64)> = exec.map_with(
-        cells,
-        SimScratch::new,
-        move |scratch, index, cell| {
+    let outcomes: Vec<(DenseCell, ScenarioOutcome, f64)> =
+        exec.map_with(cells, SimScratch::new, move |scratch, index, cell| {
             let script = dense_cell(trial_seed(STREAM_DENSE, index as u64, seed), cell, packets);
             let compiled = script
                 .compile()
@@ -878,8 +875,7 @@ pub fn dense_cell_matrix(seed: u64, scale: Scale, exec: &Executor) -> ScenarioRu
                 .count() as f64;
             let delivery = delivered / outcome.result.packets_transmitted[tx] as f64;
             (cell, outcome, delivery)
-        },
-    );
+        });
 
     let delivery = |near: f64, far: f64| -> f64 {
         outcomes

@@ -37,7 +37,6 @@ pub use compile::CompiledScenario;
 pub use error::{RequireFailure, ScenarioError};
 pub use library::{run_named, ScenarioRun, SCENARIO_NAMES};
 pub use model::{
-    Action, Cmp, EventSpec, Knob, Quantity, Require, Role, ScenarioScript, StationSpec,
-    TrafficSpec,
+    Action, Cmp, EventSpec, Knob, Quantity, Require, Role, ScenarioScript, StationSpec, TrafficSpec,
 };
 pub use run::{Judgment, ScenarioOutcome};

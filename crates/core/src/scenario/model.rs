@@ -55,7 +55,13 @@ impl ScenarioScript {
     }
 
     /// Adds a post-run `require` condition.
-    pub fn require(&mut self, name: &str, quantity: Quantity, cmp: Cmp, bound: f64) -> &mut ScenarioScript {
+    pub fn require(
+        &mut self,
+        name: &str,
+        quantity: Quantity,
+        cmp: Cmp,
+        bound: f64,
+    ) -> &mut ScenarioScript {
         self.requires.push(Require {
             name: name.to_string(),
             quantity,
@@ -396,7 +402,8 @@ impl Quantity {
             | Quantity::Intact { receiver, from }
             | Quantity::Truncated { receiver, from }
             | Quantity::Ber { receiver, from } => {
-                let needs_trace = from.is_some() || matches!(self, Quantity::Intact { .. } | Quantity::Ber { .. });
+                let needs_trace = from.is_some()
+                    || matches!(self, Quantity::Intact { .. } | Quantity::Ber { .. });
                 let mut refs = vec![(receiver.as_str(), needs_trace)];
                 if let Some(f) = from {
                     refs.push((f.as_str(), false));

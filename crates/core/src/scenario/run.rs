@@ -113,7 +113,9 @@ impl CompiledScenario {
 
     /// [`CompiledScenario::run`] with a caller-owned scratch (bit-identical).
     pub fn run_in(&self, scratch: &mut SimScratch) -> ScenarioOutcome {
-        let result = self.sim.run_scripted(&self.directives, self.limit_ns, scratch);
+        let result = self
+            .sim
+            .run_scripted(&self.directives, self.limit_ns, scratch);
         let mut judgments = Vec::with_capacity(self.probes.len() + self.requires.len());
         for probe in &self.probes {
             let snap = result
@@ -286,7 +288,9 @@ impl Evaluator<'_> {
             Quantity::Truncated { receiver, from } => match from {
                 None => self.counter(self.id(receiver), Ctr::Truncated) as f64,
                 Some(f) => self.trace_count(self.id(receiver), Some(self.id(f)), |r| {
-                    r.truth.expect("simulated traces carry ground truth").truncated
+                    r.truth
+                        .expect("simulated traces carry ground truth")
+                        .truncated
                 }) as f64,
             },
             Quantity::CapturesMade { receiver } => {
@@ -295,9 +299,7 @@ impl Evaluator<'_> {
             Quantity::Deferrals { station } => {
                 self.counter(self.id(station), Ctr::Deferrals) as f64
             }
-            Quantity::MacDrops { station } => {
-                self.counter(self.id(station), Ctr::MacDrops) as f64
-            }
+            Quantity::MacDrops { station } => self.counter(self.id(station), Ctr::MacDrops) as f64,
             Quantity::OverlapCount => match self.snap {
                 Some(s) => s.overlap_count as f64,
                 None => self.result.overlap_count as f64,

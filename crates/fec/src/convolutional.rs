@@ -57,7 +57,16 @@ impl ConvolutionalEncoder {
     /// Encodes a bit slice and appends the 6-zero tail, returning the coded
     /// bit stream (`2 × (len + 6)` bits, one bit per byte).
     pub fn encode_terminated(&mut self, bits: &[u8]) -> Vec<u8> {
-        let mut out = Vec::with_capacity(2 * (bits.len() + TAIL_BITS));
+        let mut out = Vec::new();
+        self.encode_terminated_into(bits, &mut out);
+        out
+    }
+
+    /// [`ConvolutionalEncoder::encode_terminated`] into a caller-provided
+    /// buffer (cleared first) — no per-frame allocation in steady state.
+    pub fn encode_terminated_into(&mut self, bits: &[u8], out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(2 * (bits.len() + TAIL_BITS));
         for &b in bits {
             let (a, c) = self.encode_bit(b);
             out.push(a);
@@ -69,27 +78,43 @@ impl ConvolutionalEncoder {
             out.push(c);
         }
         self.state = 0;
-        out
     }
 }
 
 /// Unpacks bytes into bits, MSB first.
 pub fn bytes_to_bits(bytes: &[u8]) -> Vec<u8> {
-    let mut bits = Vec::with_capacity(bytes.len() * 8);
+    let mut bits = Vec::new();
+    bytes_to_bits_into(bytes, &mut bits);
+    bits
+}
+
+/// [`bytes_to_bits`] into a caller-provided buffer (cleared first).
+pub fn bytes_to_bits_into(bytes: &[u8], out: &mut Vec<u8>) {
+    out.clear();
+    out.reserve(bytes.len() * 8);
     for &b in bytes {
         for shift in (0..8).rev() {
-            bits.push((b >> shift) & 1);
+            out.push((b >> shift) & 1);
         }
     }
-    bits
 }
 
 /// Packs bits (one per byte, MSB first) back into bytes; trailing bits that
 /// do not fill a byte are dropped.
 pub fn bits_to_bytes(bits: &[u8]) -> Vec<u8> {
-    bits.chunks_exact(8)
-        .map(|c| c.iter().fold(0u8, |acc, &b| (acc << 1) | (b & 1)))
-        .collect()
+    let mut out = Vec::new();
+    bits_to_bytes_into(bits, &mut out);
+    out
+}
+
+/// [`bits_to_bytes`] into a caller-provided buffer (cleared first).
+pub fn bits_to_bytes_into(bits: &[u8], out: &mut Vec<u8>) {
+    out.clear();
+    out.reserve(bits.len() / 8);
+    out.extend(
+        bits.chunks_exact(8)
+            .map(|c| c.iter().fold(0u8, |acc, &b| (acc << 1) | (b & 1))),
+    );
 }
 
 #[cfg(test)]

@@ -19,8 +19,12 @@
 //! plain ARQ (which throws away the failed copy) and over fixed-rate FEC
 //! (which pays worst-case overhead on every packet).
 
-use crate::convolutional::{bits_to_bytes, bytes_to_bits, ConvolutionalEncoder, TAIL_BITS};
+use crate::convolutional::{
+    bits_to_bytes, bits_to_bytes_into, bytes_to_bits, bytes_to_bits_into, ConvolutionalEncoder,
+    TAIL_BITS,
+};
 use crate::rcpc::{CodeRate, PERIOD_CODED_BITS};
+use crate::scratch::FecScratch;
 use crate::viterbi::{SoftSymbol, ViterbiDecoder};
 
 /// Priority order of mother-code positions within a period (mirrors
@@ -28,15 +32,35 @@ use crate::viterbi::{SoftSymbol, ViterbiDecoder};
 /// *increments* between rates).
 const PRIORITY: [usize; PERIOD_CODED_BITS] = [0, 1, 3, 5, 7, 9, 11, 13, 15, 4, 8, 12, 2, 6, 10, 14];
 
-/// Positions (within a period) that rate `r` transmits.
-fn kept(rate: CodeRate) -> &'static [usize] {
-    let n = match rate {
-        CodeRate::R8_9 => 9,
-        CodeRate::R4_5 => 10,
-        CodeRate::R2_3 => 12,
-        CodeRate::R1_2 | CodeRate::R1_4 => 16,
-    };
-    &PRIORITY[..n]
+/// Bitmask of the positions (within a period) that rate `r` transmits.
+const fn kept_mask(n: usize) -> u16 {
+    let mut mask = 0u16;
+    let mut i = 0;
+    while i < n {
+        mask |= 1 << PRIORITY[i];
+        i += 1;
+    }
+    mask
+}
+
+/// Per-round transmitted-position masks, precomputed from the ladder's
+/// nesting: round 0 is everything rate 8/9 sends; each later ladder round
+/// is the set difference between consecutive rates; Chase rounds resend
+/// every position.
+const ROUND_MASKS: [u16; 4] = [
+    kept_mask(9),
+    kept_mask(10) & !kept_mask(9),
+    kept_mask(12) & !kept_mask(10),
+    kept_mask(16) & !kept_mask(12),
+];
+
+/// Mask of positions transmitted in (0-based) round `round`.
+fn round_mask(round: usize) -> u16 {
+    if round < ROUND_MASKS.len() {
+        ROUND_MASKS[round]
+    } else {
+        kept_mask(PERIOD_CODED_BITS) // Chase: repeat everything
+    }
 }
 
 /// One transmission unit: mother-code positions and their symbols.
@@ -93,24 +117,11 @@ impl HarqSender {
     pub fn next_increment(&mut self) -> Increment {
         let round = self.round;
         self.round += 1;
-        let positions: Vec<usize> = if round == 0 {
-            kept(LADDER[0]).to_vec()
-        } else if round < LADDER.len() {
-            // The set difference between consecutive ladder steps.
-            let prev = kept(LADDER[round - 1]);
-            kept(LADDER[round])
-                .iter()
-                .copied()
-                .filter(|p| !prev.contains(p))
-                .collect()
-        } else {
-            // Ladder exhausted: Chase round — repeat everything.
-            (0..PERIOD_CODED_BITS).collect()
-        };
+        let mask = round_mask(round);
         let reaches = LADDER.get(round).copied().unwrap_or(CodeRate::R1_4);
         let mut symbols = Vec::new();
         for (i, &bit) in self.mother.iter().enumerate() {
-            if positions.contains(&(i % PERIOD_CODED_BITS)) {
+            if (mask >> (i % PERIOD_CODED_BITS)) & 1 == 1 {
                 symbols.push((i, bit));
             }
         }
@@ -192,29 +203,138 @@ pub struct HarqOutcome {
 pub fn run_harq<C: FnMut(u8) -> SoftSymbol>(
     payload: &[u8],
     max_rounds: usize,
-    mut channel: C,
+    channel: C,
 ) -> HarqOutcome {
-    let mut sender = HarqSender::new(payload);
-    let mut receiver = HarqReceiver::new(payload.len());
+    let mut scratch = FecScratch::new();
+    run_harq_with(payload, max_rounds, channel, &mut scratch)
+}
+
+/// [`run_harq`] with caller-provided scratch: the mother codeword, the
+/// soft-combining accumulators and all decode buffers live in `scratch`
+/// and are reused across packets and rounds — the whole protocol runs
+/// without a single steady-state allocation. Channel invocation order (one
+/// call per transmitted bit, mother order within each round) is identical
+/// to [`run_harq`]'s, so RNG-backed channels see the same stream.
+pub fn run_harq_with<C: FnMut(u8) -> SoftSymbol>(
+    payload: &[u8],
+    max_rounds: usize,
+    channel: C,
+    scratch: &mut FecScratch,
+) -> HarqOutcome {
+    let mut bits = std::mem::take(&mut scratch.info_bits);
+    let mut mother = std::mem::take(&mut scratch.harq_mother);
+    bytes_to_bits_into(payload, &mut bits);
+    ConvolutionalEncoder::new().encode_terminated_into(&bits, &mut mother);
+    scratch.info_bits = bits;
+    let outcome = run_harq_encoded_with(payload, &mother, max_rounds, channel, scratch);
+    scratch.harq_mother = mother;
+    outcome
+}
+
+/// [`run_harq_with`] with the mother codeword precomputed by the caller —
+/// `mother` must be the terminated encoding of `payload`
+/// ([`ConvolutionalEncoder::encode_terminated`] of its bits). Lets drivers
+/// that retransmit one payload many times (shootouts, benches) pay the
+/// encode once per payload instead of once per packet.
+pub fn run_harq_encoded_with<C: FnMut(u8) -> SoftSymbol>(
+    payload: &[u8],
+    mother: &[u8],
+    max_rounds: usize,
+    mut channel: C,
+    scratch: &mut FecScratch,
+) -> HarqOutcome {
+    let mut soft = std::mem::take(&mut scratch.harq_soft);
+    let mut acc = std::mem::take(&mut scratch.harq_acc);
+    let mut dbits = std::mem::take(&mut scratch.bits);
+    let mut decoded = std::mem::take(&mut scratch.harq_payload);
+    soft.clear();
+    soft.resize(mother.len(), 0.0);
+    acc.clear();
+    acc.resize(mother.len(), 0);
+    // While every channel output is integer-valued and every combined slot
+    // stays within the fixed-point bound, `acc` mirrors `soft` exactly and
+    // the decode can skip the per-round f64 quantization scan. The flag is
+    // a pure fast-path hint: once false, decodes go through the f64
+    // accumulator, which re-checks eligibility itself.
+    let mut fast = true;
+    // While every received symbol carries the transmitted bit's sign (no
+    // flips, no erasures among received copies), the true path's metric
+    // strictly beats every other path's: any distinct trellis path differs
+    // from the true one at some position the cumulative kept set covers
+    // (the rate patterns have positive punctured distance), where the true
+    // path earns +|s| and the impostor −|s|. The argmax is therefore unique
+    // and equals the transmitted payload, so the decode can be skipped.
+    let mut clean = true;
+    let decoder = ViterbiDecoder::new();
     let mut bits_sent = 0;
+    let mut delivered_round = None;
     for round in 1..=max_rounds {
-        let inc = sender.next_increment();
-        bits_sent += inc.len();
-        let positions: Vec<usize> = inc.symbols.iter().map(|&(p, _)| p).collect();
-        let soft: Vec<SoftSymbol> = inc.symbols.iter().map(|&(_, b)| channel(b)).collect();
-        receiver.absorb(&positions, &soft);
-        if receiver.try_decode() == payload {
-            return HarqOutcome {
-                rounds: round,
-                bits_sent,
-                delivered: true,
-            };
+        // Kept slots of this round's period mask, ascending (mother order).
+        let mask = round_mask(round - 1);
+        let mut slots = [0u8; PERIOD_CODED_BITS];
+        let mut kept = 0usize;
+        for p in 0..PERIOD_CODED_BITS {
+            if (mask >> p) & 1 == 1 {
+                slots[kept] = p as u8;
+                kept += 1;
+            }
+        }
+        let mut base = 0usize;
+        while base < mother.len() {
+            for &slot in &slots[..kept] {
+                let i = base + slot as usize;
+                if i >= mother.len() {
+                    break;
+                }
+                bits_sent += 1;
+                let bit = mother[i];
+                let s = channel(bit);
+                soft[i] += s; // soft combining across rounds
+                clean &= if bit == 1 { s > 0.0 } else { s < 0.0 };
+                if fast {
+                    let q = s as i16;
+                    if f64::from(q) == s && f64::from(q).abs() <= ViterbiDecoder::MAX_FIXED_MAG {
+                        acc[i] += q;
+                        if f64::from(acc[i]).abs() > ViterbiDecoder::MAX_FIXED_MAG {
+                            fast = false;
+                        }
+                    } else {
+                        fast = false;
+                    }
+                }
+            }
+            base += PERIOD_CODED_BITS;
+        }
+        if clean {
+            delivered_round = Some(round);
+            break;
+        }
+        if fast {
+            decoder.decode_quantized_with(&acc, scratch, &mut dbits);
+        } else {
+            decoder.decode_terminated_with(&soft, scratch, &mut dbits);
+        }
+        bits_to_bytes_into(&dbits, &mut decoded);
+        if decoded == payload {
+            delivered_round = Some(round);
+            break;
         }
     }
-    HarqOutcome {
-        rounds: max_rounds,
-        bits_sent,
-        delivered: false,
+    scratch.harq_soft = soft;
+    scratch.harq_acc = acc;
+    scratch.bits = dbits;
+    scratch.harq_payload = decoded;
+    match delivered_round {
+        Some(rounds) => HarqOutcome {
+            rounds,
+            bits_sent,
+            delivered: true,
+        },
+        None => HarqOutcome {
+            rounds: max_rounds,
+            bits_sent,
+            delivered: false,
+        },
     }
 }
 
@@ -238,6 +358,39 @@ mod tests {
             } else {
                 tx
             }
+        }
+    }
+
+    #[test]
+    fn round_masks_match_priority_set_differences() {
+        // The precomputed masks must equal the first-principles derivation
+        // from the PRIORITY prefixes (what the old scan computed per bit).
+        let prefix = |n: usize| -> Vec<usize> { PRIORITY[..n].to_vec() };
+        let sizes = [9usize, 10, 12, 16];
+        for (round, mask) in ROUND_MASKS.iter().enumerate() {
+            let cur = prefix(sizes[round]);
+            let prev: Vec<usize> = if round == 0 {
+                Vec::new()
+            } else {
+                prefix(sizes[round - 1])
+            };
+            for p in 0..PERIOD_CODED_BITS {
+                let expected = cur.contains(&p) && !prev.contains(&p);
+                assert_eq!((mask >> p) & 1 == 1, expected, "round {round} pos {p}");
+            }
+        }
+        assert_eq!(round_mask(4), 0xFFFF, "Chase rounds resend everything");
+    }
+
+    #[test]
+    fn run_harq_with_matches_run_harq() {
+        // Same channel seed ⇒ identical outcome, across quiet and hostile
+        // channels (different round counts exercise every mask).
+        let mut scratch = FecScratch::new();
+        for (p, seed) in [(0.0, 21u64), (0.02, 22), (0.12, 23), (0.5, 24)] {
+            let a = run_harq(&payload(), 10, bsc(p, seed));
+            let b = run_harq_with(&payload(), 10, bsc(p, seed), &mut scratch);
+            assert_eq!(a, b, "p={p}");
         }
     }
 

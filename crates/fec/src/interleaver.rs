@@ -32,35 +32,50 @@ impl BlockInterleaver {
     /// partial trailing block is passed through unchanged (it is shorter
     /// than one burst anyway).
     pub fn interleave<T: Copy>(&self, data: &[T]) -> Vec<T> {
-        self.permute(data, false)
+        let mut out = Vec::new();
+        self.interleave_into(data, &mut out);
+        out
     }
 
     /// Inverse of [`BlockInterleaver::interleave`].
     pub fn deinterleave<T: Copy>(&self, data: &[T]) -> Vec<T> {
-        self.permute(data, true)
+        let mut out = Vec::new();
+        self.deinterleave_into(data, &mut out);
+        out
     }
 
-    fn permute<T: Copy>(&self, data: &[T], inverse: bool) -> Vec<T> {
+    /// [`BlockInterleaver::interleave`] into a caller-provided buffer
+    /// (cleared first): a single sequential-write pass per block, with no
+    /// per-block temporary.
+    pub fn interleave_into<T: Copy>(&self, data: &[T], out: &mut Vec<T>) {
+        out.clear();
+        out.reserve(data.len());
         let n = self.block_len();
-        let mut out = Vec::with_capacity(data.len());
         let mut chunks = data.chunks_exact(n);
         for block in &mut chunks {
-            let mut buf = vec![block[0]; n];
-            for r in 0..self.rows {
-                for c in 0..self.cols {
-                    let row_major = r * self.cols + c;
-                    let col_major = c * self.rows + r;
-                    if inverse {
-                        buf[row_major] = block[col_major];
-                    } else {
-                        buf[col_major] = block[row_major];
-                    }
-                }
+            // Column-major read order writes the output sequentially; the
+            // strided reads go through `step_by` slice iterators, which
+            // carry no per-element bounds checks.
+            for c in 0..self.cols {
+                out.extend(block[c..].iter().step_by(self.cols).copied());
             }
-            out.extend_from_slice(&buf);
         }
         out.extend_from_slice(chunks.remainder());
-        out
+    }
+
+    /// [`BlockInterleaver::deinterleave`] into a caller-provided buffer
+    /// (cleared first).
+    pub fn deinterleave_into<T: Copy>(&self, data: &[T], out: &mut Vec<T>) {
+        out.clear();
+        out.reserve(data.len());
+        let n = self.block_len();
+        let mut chunks = data.chunks_exact(n);
+        for block in &mut chunks {
+            for r in 0..self.rows {
+                out.extend(block[r..].iter().step_by(self.rows).copied());
+            }
+        }
+        out.extend_from_slice(chunks.remainder());
     }
 }
 

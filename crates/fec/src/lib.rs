@@ -27,18 +27,27 @@
 //! * [`adaptive`] — a rate controller driven by the modem's signal-quality
 //!   reports and observed syndromes, with hysteresis,
 //! * [`harq`] — type-II hybrid ARQ with incremental redundancy over the
-//!   RCPC ladder (the protocol family the paper's citation \[22\] studies).
+//!   RCPC ladder (the protocol family the paper's citation \[22\] studies),
+//! * [`scratch`] — reusable decode buffers ([`FecScratch`]) that make the
+//!   whole hot path allocation-free; the `_with` API variants thread one
+//!   scratch per worker.
+//!
+//! The decode hot path runs on bit-sliced fixed-point Viterbi kernels
+//! (scalar i16 / AVX2 / AVX-512BW, runtime-selected) that are proven
+//! bit-identical to the retained f64 reference — see [`viterbi`].
 
 pub mod adaptive;
 pub mod convolutional;
 pub mod harq;
 pub mod interleaver;
 pub mod rcpc;
+pub mod scratch;
 pub mod viterbi;
 
 pub use adaptive::{AdaptiveFec, RateDecision};
 pub use convolutional::ConvolutionalEncoder;
-pub use harq::{run_harq, HarqOutcome, HarqReceiver, HarqSender};
+pub use harq::{run_harq, run_harq_with, HarqOutcome, HarqReceiver, HarqSender};
 pub use interleaver::BlockInterleaver;
 pub use rcpc::{CodeRate, RcpcCodec};
+pub use scratch::FecScratch;
 pub use viterbi::ViterbiDecoder;

@@ -22,8 +22,11 @@
 //! and the receiver always decodes with the same mother-code Viterbi by
 //! treating missing positions as erasures.
 
-use crate::convolutional::{bits_to_bytes, bytes_to_bits, ConvolutionalEncoder};
-use crate::viterbi::{hard_to_soft, SoftSymbol, ViterbiDecoder};
+use crate::convolutional::{
+    bits_to_bytes_into, bytes_to_bits_into, ConvolutionalEncoder, TAIL_BITS,
+};
+use crate::scratch::FecScratch;
+use crate::viterbi::{SoftSymbol, ViterbiDecoder};
 
 /// Puncturing period in information bits.
 pub const PERIOD_INFO_BITS: usize = 8;
@@ -99,6 +102,59 @@ impl CodeRate {
 /// punctures evenly (a standard good heuristic).
 const PRIORITY: [usize; PERIOD_CODED_BITS] = [0, 1, 3, 5, 7, 9, 11, 13, 15, 4, 8, 12, 2, 6, 10, 14];
 
+/// Precomputed puncture map for one punctured rate: everything the encode
+/// and depuncture loops need, derived once at compile time from
+/// [`PRIORITY`] instead of `contains`-scanning it per bit per frame.
+#[derive(Debug, Clone, Copy)]
+struct PunctureMap {
+    /// Bit `p` set ⇔ mother position `p mod 16` is transmitted.
+    mask: u16,
+    /// Kept positions within a period, ascending (mother order); only the
+    /// first `kept` entries are meaningful.
+    list: [u8; PERIOD_CODED_BITS],
+    /// Number of kept positions per period.
+    kept: usize,
+}
+
+const fn puncture_map(kept: usize) -> PunctureMap {
+    let mut mask = 0u16;
+    let mut i = 0;
+    while i < kept {
+        mask |= 1 << PRIORITY[i];
+        i += 1;
+    }
+    let mut list = [0u8; PERIOD_CODED_BITS];
+    let mut n = 0;
+    let mut p = 0;
+    while p < PERIOD_CODED_BITS {
+        if (mask >> p) & 1 == 1 {
+            list[n] = p as u8;
+            n += 1;
+        }
+        p += 1;
+    }
+    PunctureMap {
+        mask,
+        list,
+        kept: n,
+    }
+}
+
+/// Maps for the three genuinely punctured rates, in [`CodeRate::ALL`]
+/// order (R1_2 and R1_4 keep every position and skip the map entirely).
+const MAPS: [PunctureMap; 3] = [puncture_map(9), puncture_map(10), puncture_map(12)];
+
+impl CodeRate {
+    fn map(self) -> Option<&'static PunctureMap> {
+        match self {
+            CodeRate::R8_9 => Some(&MAPS[0]),
+            CodeRate::R4_5 => Some(&MAPS[1]),
+            CodeRate::R2_3 => Some(&MAPS[2]),
+            CodeRate::R1_2 | CodeRate::R1_4 => None,
+        }
+    }
+}
+
 /// Encoder/decoder pair for the RCPC family.
 #[derive(Debug)]
 pub struct RcpcCodec {
@@ -119,46 +175,75 @@ impl RcpcCodec {
         }
     }
 
-    /// Positions (within a period) transmitted at `rate`, in mother order.
+    /// Positions (within a period) transmitted at `rate`, in mother order
+    /// (test oracle for the precomputed maps).
+    #[cfg(test)]
     fn kept_positions(rate: CodeRate) -> Vec<usize> {
-        let kept = rate.kept_per_period().min(PERIOD_CODED_BITS);
-        let mut keep: Vec<usize> = PRIORITY[..kept].to_vec();
-        keep.sort_unstable();
-        keep
+        match rate.map() {
+            Some(map) => map.list[..map.kept].iter().map(|&p| p as usize).collect(),
+            None => (0..PERIOD_CODED_BITS).collect(),
+        }
     }
 
     /// Encodes payload bytes at `rate`: mother-encode, then puncture (or
     /// repeat, for 1/4). Returns the transmitted bit stream.
     pub fn encode(&self, payload: &[u8], rate: CodeRate) -> Vec<u8> {
-        let bits = bytes_to_bits(payload);
-        let mother = ConvolutionalEncoder::new().encode_terminated(&bits);
-        match rate {
-            CodeRate::R1_2 => mother,
-            CodeRate::R1_4 => {
-                let mut out = Vec::with_capacity(mother.len() * 2);
+        let mut scratch = FecScratch::new();
+        let mut out = Vec::new();
+        self.encode_with(payload, rate, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`RcpcCodec::encode`] into a caller-provided buffer (cleared first),
+    /// staging the mother code in `scratch` — allocation-free in steady
+    /// state.
+    pub fn encode_with(
+        &self,
+        payload: &[u8],
+        rate: CodeRate,
+        scratch: &mut FecScratch,
+        out: &mut Vec<u8>,
+    ) {
+        let mut bits = std::mem::take(&mut scratch.info_bits);
+        let mut mother = std::mem::take(&mut scratch.coded);
+        bytes_to_bits_into(payload, &mut bits);
+        ConvolutionalEncoder::new().encode_terminated_into(&bits, &mut mother);
+        out.clear();
+        match rate.map() {
+            None if rate == CodeRate::R1_2 => out.extend_from_slice(&mother),
+            None => {
+                out.reserve(mother.len() * 2);
                 for &b in &mother {
                     out.push(b);
                     out.push(b);
                 }
-                out
             }
-            _ => {
-                let keep = Self::kept_positions(rate);
-                let mut out = Vec::with_capacity(mother.len() * keep.len() / PERIOD_CODED_BITS);
+            Some(map) => {
+                out.reserve(mother.len() * map.kept / PERIOD_CODED_BITS + PERIOD_CODED_BITS);
                 for (i, &b) in mother.iter().enumerate() {
-                    if keep.contains(&(i % PERIOD_CODED_BITS)) {
+                    if (map.mask >> (i % PERIOD_CODED_BITS)) & 1 == 1 {
                         out.push(b);
                     }
                 }
-                out
             }
         }
+        scratch.info_bits = bits;
+        scratch.coded = mother;
     }
 
     /// Number of transmitted bits for a payload of `payload_len` bytes at
     /// `rate` (including the mother code's tail).
     pub fn transmitted_bits(&self, payload_len: usize, rate: CodeRate) -> usize {
-        self.encode(&vec![0u8; payload_len], rate).len()
+        let mother_len = 2 * (payload_len * 8 + TAIL_BITS);
+        match rate.map() {
+            None if rate == CodeRate::R1_2 => mother_len,
+            None => mother_len * 2,
+            Some(map) => {
+                let full = mother_len / PERIOD_CODED_BITS;
+                let tail = mother_len % PERIOD_CODED_BITS;
+                full * map.kept + (map.mask & ((1u16 << tail) - 1)).count_ones() as usize
+            }
+        }
     }
 
     /// Decodes received *soft* symbols (in transmitted order) at `rate`,
@@ -170,15 +255,33 @@ impl RcpcCodec {
         payload_len: usize,
         rate: CodeRate,
     ) -> Vec<u8> {
-        let info_bits = payload_len * 8;
-        let mother_len = 2 * (info_bits + crate::convolutional::TAIL_BITS);
-        let mut mother: Vec<SoftSymbol> = vec![0.0; mother_len];
-        match rate {
-            CodeRate::R1_2 => {
+        let mut scratch = FecScratch::new();
+        let mut out = Vec::new();
+        self.decode_soft_with(received, payload_len, rate, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`RcpcCodec::decode_soft`] into a caller-provided buffer (cleared
+    /// first), reusing `scratch` for the depunctured mother codeword and
+    /// the Viterbi survivor storage.
+    pub fn decode_soft_with(
+        &self,
+        received: &[SoftSymbol],
+        payload_len: usize,
+        rate: CodeRate,
+        scratch: &mut FecScratch,
+        out: &mut Vec<u8>,
+    ) {
+        let mother_len = 2 * (payload_len * 8 + TAIL_BITS);
+        let mut mother = std::mem::take(&mut scratch.mother);
+        mother.clear();
+        mother.resize(mother_len, 0.0);
+        match rate.map() {
+            None if rate == CodeRate::R1_2 => {
                 let n = received.len().min(mother_len);
                 mother[..n].copy_from_slice(&received[..n]);
             }
-            CodeRate::R1_4 => {
+            None => {
                 // Combine the two copies of each symbol (soft combining).
                 for (i, m) in mother.iter_mut().enumerate() {
                     let a = received.get(2 * i).copied().unwrap_or(0.0);
@@ -186,29 +289,93 @@ impl RcpcCodec {
                     *m = a + b;
                 }
             }
-            _ => {
-                let keep = Self::kept_positions(rate);
-                let mut it = received.iter();
-                for (i, m) in mother.iter_mut().enumerate() {
-                    if keep.contains(&(i % PERIOD_CODED_BITS)) {
-                        *m = it.next().copied().unwrap_or(0.0);
+            Some(map) => {
+                // Walk the kept slots directly, one puncture period at a
+                // time: received symbol `k` lands at mother position
+                // period(k)·16 + list[k mod kept].
+                let expected = self.transmitted_bits(payload_len, rate);
+                let slots = &map.list[..map.kept];
+                let mut base = 0usize;
+                for chunk in received[..expected.min(received.len())].chunks(map.kept) {
+                    for (&value, &slot) in chunk.iter().zip(slots) {
+                        mother[base + slot as usize] = value;
                     }
+                    base += PERIOD_CODED_BITS;
                 }
             }
         }
-        let bits = self.decoder.decode_terminated(&mother);
-        bits_to_bytes(&bits)
+        let mut bits = std::mem::take(&mut scratch.bits);
+        self.decoder
+            .decode_terminated_with(&mother, scratch, &mut bits);
+        bits_to_bytes_into(&bits, out);
+        scratch.mother = mother;
+        scratch.bits = bits;
     }
 
     /// Hard-decision decode convenience.
     pub fn decode_hard(&self, received: &[u8], payload_len: usize, rate: CodeRate) -> Vec<u8> {
-        self.decode_soft(&hard_to_soft(received), payload_len, rate)
+        let mut scratch = FecScratch::new();
+        let mut out = Vec::new();
+        self.decode_hard_with(received, payload_len, rate, &mut scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free hard-decision decode: depunctures straight into the
+    /// integer symbol domain (±1 received, 0 erased; rate 1/4 copies sum to
+    /// ±2/0) and feeds the fixed-point kernels without building an f64
+    /// soft vector — bit-identical to `decode_soft(hard_to_soft(..))`.
+    pub fn decode_hard_with(
+        &self,
+        received: &[u8],
+        payload_len: usize,
+        rate: CodeRate,
+        scratch: &mut FecScratch,
+        out: &mut Vec<u8>,
+    ) {
+        let mother_len = 2 * (payload_len * 8 + TAIL_BITS);
+        let mut qsyms = std::mem::take(&mut scratch.qsyms);
+        qsyms.clear();
+        qsyms.resize(mother_len, 0);
+        let pm1 = |b: u8| if b & 1 == 1 { 1i16 } else { -1i16 };
+        match rate.map() {
+            None if rate == CodeRate::R1_2 => {
+                let n = received.len().min(mother_len);
+                for (q, &b) in qsyms[..n].iter_mut().zip(received) {
+                    *q = pm1(b);
+                }
+            }
+            None => {
+                for (i, q) in qsyms.iter_mut().enumerate() {
+                    let a = received.get(2 * i).map(|&b| pm1(b)).unwrap_or(0);
+                    let b = received.get(2 * i + 1).map(|&b| pm1(b)).unwrap_or(0);
+                    *q = a + b;
+                }
+            }
+            Some(map) => {
+                let expected = self.transmitted_bits(payload_len, rate);
+                let slots = &map.list[..map.kept];
+                let mut base = 0usize;
+                for chunk in received[..expected.min(received.len())].chunks(map.kept) {
+                    for (&b, &slot) in chunk.iter().zip(slots) {
+                        qsyms[base + slot as usize] = pm1(b);
+                    }
+                    base += PERIOD_CODED_BITS;
+                }
+            }
+        }
+        let mut bits = std::mem::take(&mut scratch.bits);
+        self.decoder
+            .decode_quantized_with(&qsyms, scratch, &mut bits);
+        bits_to_bytes_into(&bits, out);
+        scratch.qsyms = qsyms;
+        scratch.bits = bits;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::viterbi::hard_to_soft;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 

@@ -1,0 +1,211 @@
+//! The fixed-point Viterbi kernels must return **bit-identical** output to
+//! the retained f64 reference decoder for every eligible input — that is
+//! the contract that lets the hot path replace the reference wholesale.
+//!
+//! These property tests sweep random frames across seeds × lengths × RCPC
+//! rates × erasure patterns × soft-combining magnitudes, plus engineered
+//! tie-break stress cases (all-erasure frames tie every ACS comparison),
+//! and check *every* kernel compiled for this host (scalar always; AVX2 and
+//! AVX-512BW where supported) against the reference.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wavelan_fec::convolutional::ConvolutionalEncoder;
+use wavelan_fec::rcpc::{CodeRate, RcpcCodec};
+use wavelan_fec::scratch::FecScratch;
+use wavelan_fec::viterbi::{hard_to_soft, SoftSymbol, ViterbiDecoder};
+
+/// Every kernel the host can run.
+fn kernels() -> Vec<ViterbiDecoder> {
+    ["scalar", "avx2", "avx512"]
+        .iter()
+        .filter_map(|name| ViterbiDecoder::with_kernel(name))
+        .collect()
+}
+
+/// Checks one soft frame against the reference on every kernel.
+fn assert_identical(symbols: &[SoftSymbol], what: &str) {
+    let reference = ViterbiDecoder::new().decode_terminated_reference(symbols);
+    let mut scratch = FecScratch::new();
+    let mut out = Vec::new();
+    for dec in kernels() {
+        dec.decode_terminated_with(symbols, &mut scratch, &mut out);
+        assert_eq!(
+            out,
+            reference,
+            "{what}: kernel {} diverged from reference",
+            dec.kernel_name()
+        );
+    }
+}
+
+fn random_bits(n: usize, rng: &mut StdRng) -> Vec<u8> {
+    (0..n).map(|_| rng.gen_range(0..2u8)).collect()
+}
+
+#[test]
+fn host_kernels_present() {
+    // The suite must always exercise at least the scalar kernel; report
+    // what this host actually covers.
+    let names: Vec<&str> = kernels().iter().map(|d| d.kernel_name()).collect();
+    assert!(names.contains(&"scalar"));
+    eprintln!("bit-identity suite covers kernels: {names:?}");
+}
+
+#[test]
+fn random_frames_with_noise_and_erasures() {
+    // Seeds × lengths × erasure probabilities × flip probabilities.
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(1000 + seed);
+        for len in [3usize, 26, 100, 381, 1024] {
+            let bits = random_bits(len, &mut rng);
+            let coded = ConvolutionalEncoder::new().encode_terminated(&bits);
+            let mut soft = hard_to_soft(&coded);
+            let flip_p = [0.0, 0.02, 0.08, 0.25][seed as usize % 4];
+            let erase_p = [0.0, 0.1, 0.3, 0.5][(seed as usize + 1) % 4];
+            for s in soft.iter_mut() {
+                if rng.gen::<f64>() < flip_p {
+                    *s = -*s;
+                }
+                if rng.gen::<f64>() < erase_p {
+                    *s = 0.0;
+                }
+            }
+            assert_identical(&soft, &format!("seed {seed} len {len}"));
+        }
+    }
+}
+
+#[test]
+fn all_rcpc_rates_through_the_codec() {
+    // The full codec path (puncture → corrupt → depuncture → decode) must
+    // agree with depuncturing by hand and running the reference.
+    let codec = RcpcCodec::new();
+    let mut scratch = FecScratch::new();
+    let mut fast = Vec::new();
+    for seed in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(2000 + seed);
+        for rate in CodeRate::ALL {
+            for len in [5usize, 64, 200] {
+                let payload: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+                let mut tx = codec.encode(&payload, rate);
+                for b in tx.iter_mut() {
+                    if rng.gen::<f64>() < 0.01 {
+                        *b ^= 1;
+                    }
+                }
+                // Reference: the old formulation — f64 soft symbols through
+                // decode_soft (whose Viterbi stage is itself
+                // reference-checked above).
+                let expected = codec.decode_soft(&hard_to_soft(&tx), payload.len(), rate);
+                codec.decode_hard_with(&tx, payload.len(), rate, &mut scratch, &mut fast);
+                assert_eq!(fast, expected, "{rate:?} len {len} seed {seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn soft_combining_magnitudes() {
+    // HARQ accumulates integer sums; sweep magnitudes up to the fixed-point
+    // eligibility bound and one notch past it (which must fall back and
+    // still agree, trivially, with the reference).
+    for seed in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(3000 + seed);
+        let bits = random_bits(150, &mut rng);
+        let coded = ConvolutionalEncoder::new().encode_terminated(&bits);
+        for mag in [1i32, 2, 5, 12, 64] {
+            let soft: Vec<SoftSymbol> = coded
+                .iter()
+                .map(|&b| {
+                    let m = rng.gen_range(0..=mag);
+                    let sign = if b == 1 { 1.0 } else { -1.0 };
+                    let flip = if rng.gen::<f64>() < 0.05 { -1.0 } else { 1.0 };
+                    f64::from(m) * sign * flip
+                })
+                .collect();
+            assert_identical(&soft, &format!("seed {seed} mag {mag}"));
+        }
+    }
+}
+
+#[test]
+fn tie_break_stress() {
+    // All-erasure frames make every ACS comparison a tie: the survivor
+    // choice is pure tie-break policy, so any divergence shows up here.
+    for steps in [6usize, 40, 64, 65, 128, 200] {
+        let soft = vec![0.0; 2 * steps];
+        assert_identical(&soft, &format!("all-erasure {steps} steps"));
+    }
+    // Alternating ±1 with periodic zeros: dense partial-tie structure.
+    for phase in 0..3usize {
+        let soft: Vec<SoftSymbol> = (0..2 * 300)
+            .map(|i| match (i + phase) % 3 {
+                0 => 1.0,
+                1 => -1.0,
+                _ => 0.0,
+            })
+            .collect();
+        assert_identical(&soft, &format!("alternating phase {phase}"));
+    }
+    // Constant frames (every symbol the same value) tie along whole paths.
+    for v in [-1.0, 1.0, 2.0] {
+        let soft = vec![v; 2 * 100];
+        assert_identical(&soft, &format!("constant {v}"));
+    }
+}
+
+#[test]
+fn renormalization_boundaries() {
+    // Lengths straddling the renorm interval (64 steps) and long frames
+    // that renormalize many times.
+    let mut rng = StdRng::seed_from_u64(4000);
+    for steps in [63usize, 64, 65, 127, 129, 1000, 8198] {
+        let info = steps - 6;
+        let bits = random_bits(info, &mut rng);
+        let mut soft = hard_to_soft(&ConvolutionalEncoder::new().encode_terminated(&bits));
+        for s in soft.iter_mut() {
+            if rng.gen::<f64>() < 0.1 {
+                *s = -*s;
+            }
+        }
+        assert_identical(&soft, &format!("renorm {steps} steps"));
+    }
+}
+
+#[test]
+fn quantized_entry_point_matches_reference() {
+    let mut rng = StdRng::seed_from_u64(5000);
+    let mut scratch = FecScratch::new();
+    let mut out = Vec::new();
+    for _ in 0..8 {
+        let qsyms: Vec<i16> = (0..2 * 250).map(|_| rng.gen_range(-3i16..=3)).collect();
+        let soft: Vec<SoftSymbol> = qsyms.iter().map(|&q| f64::from(q)).collect();
+        let reference = ViterbiDecoder::new().decode_terminated_reference(&soft);
+        for dec in kernels() {
+            dec.decode_quantized_with(&qsyms, &mut scratch, &mut out);
+            assert_eq!(out, reference, "kernel {}", dec.kernel_name());
+        }
+    }
+}
+
+#[test]
+fn ineligible_inputs_take_the_reference_path() {
+    // Fractional and out-of-range symbols must give exactly the reference
+    // answer (they *are* the reference path).
+    let mut rng = StdRng::seed_from_u64(6000);
+    let bits = random_bits(90, &mut rng);
+    let coded = ConvolutionalEncoder::new().encode_terminated(&bits);
+    for scale in [0.5, 1.5, 100.0] {
+        let soft: Vec<SoftSymbol> = coded
+            .iter()
+            .map(|&b| if b == 1 { scale } else { -scale })
+            .collect();
+        let dec = ViterbiDecoder::new();
+        assert_eq!(
+            dec.decode_terminated(&soft),
+            dec.decode_terminated_reference(&soft),
+            "scale {scale}"
+        );
+    }
+}

@@ -79,27 +79,84 @@ impl GilbertElliott {
     /// Generates an error indicator sequence of `n` bits (true = bit error),
     /// starting from the stationary distribution.
     pub fn generate<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<bool> {
-        let mut state = if rng.gen::<f64>() < self.stationary_bad() {
+        let mut out = Vec::new();
+        self.generate_into(n, rng, &mut out);
+        out
+    }
+
+    /// [`GilbertElliott::generate`] into a caller-provided buffer: the RNG
+    /// draw sequence is identical, but steady-state callers reuse the
+    /// buffer's capacity instead of allocating per walk.
+    pub fn generate_into<R: Rng + ?Sized>(&self, n: usize, rng: &mut R, out: &mut Vec<bool>) {
+        let mut walk = GeWalker::new(*self);
+        walk.restart(rng);
+        out.clear();
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(walk.next(rng));
+        }
+    }
+
+    /// Starts an incremental walk over this channel; see [`GeWalker`].
+    pub fn walker(&self) -> GeWalker {
+        GeWalker::new(*self)
+    }
+}
+
+/// A per-bit view of the walk [`GilbertElliott::generate_into`] produces.
+///
+/// [`GeWalker::restart`] makes the stationary state draw that opens a
+/// `generate` call; each [`GeWalker::next`] then makes that call's per-bit
+/// draws (error, then transition) in the same order. Consuming `k` bits
+/// through this API yields exactly the first `k` bits of a `generate` call
+/// on the same RNG — callers that would otherwise over-generate (e.g. a
+/// HARQ loop that stops mid-chunk) draw only what they consume, and since
+/// the walk is sequential the consumed prefix is bit-identical.
+#[derive(Debug, Clone, Copy)]
+pub struct GeWalker {
+    channel: GilbertElliott,
+    state: ChannelState,
+}
+
+impl GeWalker {
+    fn new(channel: GilbertElliott) -> GeWalker {
+        GeWalker {
+            channel,
+            state: ChannelState::Good,
+        }
+    }
+
+    /// Redraws the state from the stationary distribution — the draw that
+    /// begins every [`GilbertElliott::generate_into`] call.
+    pub fn restart<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.state = if rng.gen::<f64>() < self.channel.stationary_bad() {
             ChannelState::Bad
         } else {
             ChannelState::Good
         };
-        let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            let ber = match state {
-                ChannelState::Good => self.ber_good,
-                ChannelState::Bad => self.ber_bad,
-            };
-            out.push(rng.gen::<f64>() < ber);
-            state = match state {
-                ChannelState::Good if rng.gen::<f64>() < self.p_good_to_bad => ChannelState::Bad,
-                ChannelState::Bad if rng.gen::<f64>() < self.p_bad_to_good => ChannelState::Good,
-                s => s,
-            };
-        }
-        out
     }
 
+    /// Advances one bit: returns the error indicator, then steps the state.
+    pub fn next<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        let ber = match self.state {
+            ChannelState::Good => self.channel.ber_good,
+            ChannelState::Bad => self.channel.ber_bad,
+        };
+        let error = rng.gen::<f64>() < ber;
+        self.state = match self.state {
+            ChannelState::Good if rng.gen::<f64>() < self.channel.p_good_to_bad => {
+                ChannelState::Bad
+            }
+            ChannelState::Bad if rng.gen::<f64>() < self.channel.p_bad_to_good => {
+                ChannelState::Good
+            }
+            s => s,
+        };
+        error
+    }
+}
+
+impl GilbertElliott {
     /// Fits Gilbert–Elliott parameters to an observed error sequence using
     /// the standard gap-statistics method (Gilbert's original recipe):
     /// errors closer than `burst_gap` bits apart are deemed the same burst;

@@ -249,12 +249,20 @@ fn admit(state: &Arc<State>, stream: TcpStream) {
         let mut stream = stream;
         let _ = stream.set_read_timeout(Some(Duration::from_secs(1)));
         let _ = read_request(&mut stream);
-        respond(state, stream, 429, "admission", Instant::now(), false, |_| {
-            (
-                "text/plain; charset=utf-8",
-                String::from("queue full, retry later\n"),
-            )
-        });
+        respond(
+            state,
+            stream,
+            429,
+            "admission",
+            Instant::now(),
+            false,
+            |_| {
+                (
+                    "text/plain; charset=utf-8",
+                    String::from("queue full, retry later\n"),
+                )
+            },
+        );
         return;
     }
     state.metrics.admit();
@@ -568,20 +576,20 @@ fn respond_computed(
         Computed::Body(body) => respond(state, stream, 200, label, admitted_at, true, move |_| {
             ("application/json", body.as_ref().clone())
         }),
-        Computed::DeadlineExceeded => {
-            respond(state, stream, 503, label, admitted_at, true, |_| {
+        Computed::DeadlineExceeded => respond(state, stream, 503, label, admitted_at, true, |_| {
+            (
+                "text/plain; charset=utf-8",
+                String::from("request deadline exceeded; the run continues and will be cached\n"),
+            )
+        }),
+        Computed::Panicked(message) => {
+            respond(state, stream, 500, label, admitted_at, true, move |_| {
                 (
                     "text/plain; charset=utf-8",
-                    String::from("request deadline exceeded; the run continues and will be cached\n"),
+                    format!("run failed: {message}\n"),
                 )
             })
         }
-        Computed::Panicked(message) => respond(state, stream, 500, label, admitted_at, true, move |_| {
-            (
-                "text/plain; charset=utf-8",
-                format!("run failed: {message}\n"),
-            )
-        }),
     }
 }
 

@@ -11,8 +11,8 @@ use crate::trace::{GroundTruth, Trace, TraceRecord};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use wavelan_mac::csma::{MacStats, TxAction};
-use wavelan_mac::threshold::Thresholds;
 use wavelan_mac::network_id::wrap_with_network_id;
+use wavelan_mac::threshold::Thresholds;
 use wavelan_net::testpkt::TestPacket;
 use wavelan_phy::agc::power_to_level_units;
 use wavelan_phy::baseband::gaussian;
@@ -491,10 +491,7 @@ impl Runner<'_> {
             }
             DirectiveOp::SetTraffic { station, traffic } => {
                 self.stations[station].config.traffic = traffic;
-                if matches!(
-                    traffic,
-                    Traffic::Periodic { .. } | Traffic::Saturate { .. }
-                ) {
+                if matches!(traffic, Traffic::Periodic { .. } | Traffic::Saturate { .. }) {
                     self.queue.schedule(now, Event::AppSend { station });
                 }
             }
@@ -1145,7 +1142,11 @@ mod scripted_tests {
         let mut scratch = SimScratch::new();
         let result = scenario.run_scripted(&directives, 500_000_000, &mut scratch);
         assert_eq!(result.packets_transmitted[tx], 40);
-        assert!(result.packets_delivered[rx] >= 38, "{}", result.packets_delivered[rx]);
+        assert!(
+            result.packets_delivered[rx] >= 38,
+            "{}",
+            result.packets_delivered[rx]
+        );
         assert_eq!(result.snapshots.len(), 1);
         let snap = &result.snapshots[0];
         assert_eq!(snap.id, 7);

@@ -781,13 +781,25 @@ fn table14() -> TableExpectation {
             Check::new(
                 "table14.silence.jump",
                 "interfering WaveLAN units announce themselves in silence",
-                mean_diff(T14, "With interference", T14, "Without interference", "silence"),
+                mean_diff(
+                    T14,
+                    "With interference",
+                    T14,
+                    "Without interference",
+                    "silence",
+                ),
                 Expected::AtLeast(8.0),
             ),
             Check::new(
                 "table14.level.untouched",
                 "level unchanged by the competing units",
-                mean_diff(T14, "With interference", T14, "Without interference", "level"),
+                mean_diff(
+                    T14,
+                    "With interference",
+                    T14,
+                    "Without interference",
+                    "level",
+                ),
                 within(0.0, 1.0),
             ),
             Check::new(

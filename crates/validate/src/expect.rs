@@ -80,9 +80,9 @@ impl CellRef {
                     self.table, self.column
                 )
             }),
-            None => cell.number().ok_or_else(|| {
-                format!("{:?} column {:?} is not numeric", self.table, self.column)
-            }),
+            None => cell
+                .number()
+                .ok_or_else(|| format!("{:?} column {:?} is not numeric", self.table, self.column)),
         }
     }
 }

@@ -289,11 +289,7 @@ pub fn run(config: &Config, exec: &Executor) -> FidelityReport {
     }
 }
 
-fn judge_table(
-    expectation: &TableExpectation,
-    runs: &[Report],
-    scale: Scale,
-) -> TableResult {
+fn judge_table(expectation: &TableExpectation, runs: &[Report], scale: Scale) -> TableResult {
     let checks: Vec<CheckResult> = expectation
         .checks
         .iter()

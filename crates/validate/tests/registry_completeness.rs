@@ -55,7 +55,8 @@ fn extension_artifacts_claim_no_paper_tables() {
     // Extensions go beyond the paper's evaluation; the fidelity corpus is
     // only about the paper's own artifacts.
     for e in registry::REGISTRY {
-        let is_paper = e.artifact_name().starts_with("table") || e.artifact_name().starts_with("figure");
+        let is_paper =
+            e.artifact_name().starts_with("table") || e.artifact_name().starts_with("figure");
         assert_eq!(
             !e.paper_tables().is_empty(),
             is_paper,

@@ -73,7 +73,11 @@ fn pooled_traces_merge_in_declaration_order() {
         assert_eq!(s.pooled.transmitted, p.pooled.transmitted);
         assert_eq!(s.pooled.packets.len(), p.pooled.packets.len());
         for (a, b) in s.positions.iter().zip(&p.positions) {
-            assert_eq!(a.mean_level.to_bits(), b.mean_level.to_bits(), "seed {seed}");
+            assert_eq!(
+                a.mean_level.to_bits(),
+                b.mean_level.to_bits(),
+                "seed {seed}"
+            );
             assert_eq!(a.loss.to_bits(), b.loss.to_bits(), "seed {seed}");
             assert_eq!(
                 a.damaged_fraction.to_bits(),

@@ -52,7 +52,11 @@ fn every_entry_runs_at_smoke_scale() {
             "{}: report/budget mismatch",
             e.artifact_name()
         );
-        assert!(!report.title.is_empty(), "{}: empty title", e.artifact_name());
+        assert!(
+            !report.title.is_empty(),
+            "{}: empty title",
+            e.artifact_name()
+        );
         assert!(
             !report.render().is_empty(),
             "{}: empty render",

@@ -26,7 +26,11 @@ fn capture_chatter_conformance_across_seeds() {
             .run_checked()
             .unwrap_or_else(|e| panic!("capture-chatter seed {seed} failed: {e}"));
         // Every named condition of the ported test is judged, in order.
-        let names: Vec<&str> = outcome.judgments.iter().map(|j| j.require.as_str()).collect();
+        let names: Vec<&str> = outcome
+            .judgments
+            .iter()
+            .map(|j| j.require.as_str())
+            .collect();
         assert_eq!(
             names,
             [

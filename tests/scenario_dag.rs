@@ -18,8 +18,8 @@
 //!   of letting the capture numbers pass vacuously.
 
 use wavelan_core::scenario::library::{capture_chatter, run_named, threshold_25};
-use wavelan_core::scenario::{ScenarioError, ScenarioScript};
 use wavelan_core::scenario::{Action, Cmp, Quantity, Role, StationSpec};
+use wavelan_core::scenario::{ScenarioError, ScenarioScript};
 use wavelan_core::{Executor, Scale};
 use wavelan_mac::Thresholds;
 use wavelan_net::testpkt::Endpoint;
@@ -52,11 +52,7 @@ fn new_scenarios_render_identically_on_one_and_eight_workers() {
                 lines(&b),
                 "{name} judgments differ between --jobs 1 and --jobs 8 at seed {seed}"
             );
-            assert!(
-                a.passed(),
-                "{name} seed {seed} failed: {:?}",
-                lines(&a)
-            );
+            assert!(a.passed(), "{name} seed {seed} failed: {:?}", lines(&a));
         }
     }
 }

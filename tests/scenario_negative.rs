@@ -24,7 +24,11 @@ fn place(s: &mut ScenarioScript, event: &str, station: &str, sender: bool) {
         &[],
         Action::Place {
             station: station.into(),
-            spec: StationSpec::new(endpoint, Point::feet(if sender { 7.0 } else { 0.0 }, 0.0), role),
+            spec: StationSpec::new(
+                endpoint,
+                Point::feet(if sender { 7.0 } else { 0.0 }, 0.0),
+                role,
+            ),
         },
     );
 }
@@ -114,7 +118,10 @@ fn transmit_from_unscripted_station_is_rejected() {
             spacing_ns: 1_000,
         },
     );
-    match s.compile().expect_err("receiver cannot be scripted-transmitting") {
+    match s
+        .compile()
+        .expect_err("receiver cannot be scripted-transmitting")
+    {
         ScenarioError::NotScripted { event, station } => {
             assert_eq!(event, "push");
             assert_eq!(station, "rx");

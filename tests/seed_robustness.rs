@@ -21,7 +21,11 @@ fn table3_separation_holds_across_seeds() {
         let rows = result.table3_rows();
         let undamaged = &rows[1];
         let body_damaged = &rows[4];
-        assert!(undamaged.packets > 500, "seed {seed}: {}", undamaged.packets);
+        assert!(
+            undamaged.packets > 500,
+            "seed {seed}: {}",
+            undamaged.packets
+        );
         assert!(
             body_damaged.packets > 10,
             "seed {seed}: {}",
@@ -69,7 +73,10 @@ fn figure2_error_cliff_sits_at_the_papers_level() {
         }
         // The ladder reaches into the error region, and errors are no longer
         // rare there — the cliff, not a gentle slope.
-        assert!(below_cliff >= 1, "seed {seed}: ladder never entered the error region");
+        assert!(
+            below_cliff >= 1,
+            "seed {seed}: ladder never entered the error region"
+        );
         assert!(
             worst_below > 0.10,
             "seed {seed}: worst error rate below the cliff only {worst_below:.3}"

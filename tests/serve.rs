@@ -18,7 +18,13 @@ use wavelan_serve::{Config, Server, ShutdownHandle};
 
 /// Boots a server, waits for `/healthz`, and returns the address, the
 /// shutdown handle, and the join handle for [`Server::run`].
-fn start(config: Config) -> (String, ShutdownHandle, thread::JoinHandle<std::io::Result<()>>) {
+fn start(
+    config: Config,
+) -> (
+    String,
+    ShutdownHandle,
+    thread::JoinHandle<std::io::Result<()>>,
+) {
     let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral port");
     let addr = server.local_addr().expect("bound address").to_string();
     let handle = server.shutdown_handle();
@@ -257,7 +263,8 @@ fn graceful_shutdown_drains_in_flight_requests() {
     join.join().expect("server thread").expect("clean run");
     // And the listener is really gone.
     assert!(
-        TcpStream::connect(&addr).is_err() || get(&addr, "/healthz", Duration::from_millis(200)).is_err(),
+        TcpStream::connect(&addr).is_err()
+            || get(&addr, "/healthz", Duration::from_millis(200)).is_err(),
         "socket must be closed after drain"
     );
 }

@@ -46,9 +46,7 @@ impl BytesMut {
 
     /// Freezes into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
-        Bytes {
-            inner: self.inner,
-        }
+        Bytes { inner: self.inner }
     }
 }
 

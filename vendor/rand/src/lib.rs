@@ -212,10 +212,7 @@ pub mod rngs {
         #[inline]
         fn step(&mut self) -> u64 {
             let s = &mut self.s;
-            let result = s[0]
-                .wrapping_add(s[3])
-                .rotate_left(23)
-                .wrapping_add(s[0]);
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
             s[2] ^= s[0];
             s[3] ^= s[1];
@@ -310,10 +307,7 @@ mod tests {
             let f: f64 = r.gen();
             assert!((0.0..1.0).contains(&f));
         }
-        let mean = (0..10_000)
-            .map(|_| r.gen::<f64>())
-            .sum::<f64>()
-            / 10_000.0;
+        let mean = (0..10_000).map(|_| r.gen::<f64>()).sum::<f64>() / 10_000.0;
         assert!((mean - 0.5).abs() < 0.02, "{mean}");
         let trues = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
         assert!((2_000..3_000).contains(&trues), "{trues}");
