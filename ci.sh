@@ -3,22 +3,28 @@
 # `cargo test` surfaces via tests/golden_repro.rs — fails the run.
 set -eux
 
+# Regenerated run artifacts land under out/ (gitignored); only the
+# benchmark records (BENCH_*.json, FIDELITY.json) are committed at the
+# repo root.
+OUT=out
+mkdir -p "$OUT"
+
 cargo build --release
 cargo clippy --workspace -- -D warnings
 cargo test -q
 cargo bench --workspace --no-run
 cargo run --release -p wavelan-bench --bin repro -- --list
 cargo run --release -p wavelan-bench --bin repro -- --scale smoke --timing-json BENCH_PR2.json
-cargo run --release -p wavelan-bench --bin repro -- --scale smoke --format json > REPRO_SMOKE.json
+cargo run --release -p wavelan-bench --bin repro -- --scale smoke --format json > "$OUT/REPRO_SMOKE.json"
 # Validate the JSON outputs parse (the in-tree round-trip tests cover the
 # parser itself; jq is a belt-and-braces check where available).
 if command -v jq >/dev/null 2>&1; then
-    jq . REPRO_SMOKE.json > /dev/null
+    jq . "$OUT/REPRO_SMOKE.json" > /dev/null
     jq . BENCH_PR2.json > /dev/null
 else
     # The golden test diffs the same document; a byte-identical match to the
     # committed tests/golden/repro_smoke.json proves it parses.
-    cmp REPRO_SMOKE.json tests/golden/repro_smoke.json
+    cmp "$OUT/REPRO_SMOKE.json" tests/golden/repro_smoke.json
 fi
 # Scenario-scripting gate: the event-DAG conformance suite runs explicitly
 # (determinism, declaration-permutation stability, the ported capture
@@ -26,8 +32,21 @@ fi
 # transcript is pinned byte-for-byte against its golden file.
 cargo test -q --test scenario_dag --test scenario_capture --test scenario_negative
 cargo run --release -p wavelan-bench --bin repro -- --scenario list
-cargo run --release -p wavelan-bench --bin repro -- --scenario walk-by --scale smoke > SCENARIO_WALKBY.txt
-cmp SCENARIO_WALKBY.txt tests/golden/scenario_walkby_smoke.txt
+cargo run --release -p wavelan-bench --bin repro -- --scenario walk-by --scale smoke > "$OUT/SCENARIO_WALKBY.txt"
+cmp "$OUT/SCENARIO_WALKBY.txt" tests/golden/scenario_walkby_smoke.txt
+
+# Parameter-sweep gate: the smoke preset's JSON document is pinned against
+# its golden file (ranking, sensitivity, per-point seeds — any drift in
+# sweep determinism shows up as a byte diff), then the 100-point oven grid
+# runs at smoke scale with its throughput recorded alongside the other
+# benchmark records. tests/sweep_determinism.rs covers jobs- and
+# axis-order-invariance under `cargo test` above.
+cargo run --release -p wavelan-bench --bin repro -- sweep --space list
+cargo run --release -p wavelan-bench --bin repro -- sweep --space oven-smoke --format json > "$OUT/SWEEP_SMOKE.json"
+cmp "$OUT/SWEEP_SMOKE.json" tests/golden/sweep_smoke.json
+cargo run --release -p wavelan-bench --bin repro -- sweep --space oven-grid --format json --timing-json BENCH_PR8.json > "$OUT/SWEEP_GRID.json"
+cargo run --release -p wavelan-bench --bin repro -- --check-json BENCH_PR8.json
+cargo run --release -p wavelan-bench --bin repro -- --check-json "$OUT/SWEEP_GRID.json"
 
 # Paper-fidelity gate: every Table 2-14 / Figure 1-3 expectation must be
 # within tolerance (exit 1 on any fail verdict), and the report must parse
@@ -62,9 +81,9 @@ for artifact in fec harq; do
 done
 
 # Daemon smoke test: boot `repro serve` as a real separate process on an
-# ephemeral port, poll /healthz, fetch one artifact and byte-compare it to
-# the CLI's JSON, check /metrics parses, then confirm SIGTERM drains with
-# exit 0.
+# ephemeral port, poll /healthz, fetch one artifact and one sweep and
+# byte-compare both to the CLI's JSON, check /metrics parses, then confirm
+# SIGTERM drains with exit 0.
 REPRO=./target/release/repro
 ADDR_FILE=$(mktemp)
 "$REPRO" serve --addr 127.0.0.1:0 --addr-file "$ADDR_FILE" --workers 2 &
@@ -78,12 +97,14 @@ for _ in $(seq 1 100); do
     sleep 0.1
 done
 test -n "$ADDR"
-"$REPRO" --http-get "http://$ADDR/run/tdma?seed=1996&scale=smoke" > SERVE_RUN.json
-"$REPRO" --check-json SERVE_RUN.json
-"$REPRO" --scale smoke --seed 1996 --format json tdma > CLI_RUN.json
-cmp SERVE_RUN.json CLI_RUN.json
-"$REPRO" --http-get "http://$ADDR/metrics" > SERVE_METRICS.json
-"$REPRO" --check-json SERVE_METRICS.json
+"$REPRO" --http-get "http://$ADDR/run/tdma?seed=1996&scale=smoke" > "$OUT/SERVE_RUN.json"
+"$REPRO" --check-json "$OUT/SERVE_RUN.json"
+"$REPRO" --scale smoke --seed 1996 --format json tdma > "$OUT/CLI_RUN.json"
+cmp "$OUT/SERVE_RUN.json" "$OUT/CLI_RUN.json"
+"$REPRO" --http-get "http://$ADDR/sweep?preset=oven-smoke&scale=smoke&seed=1996" > "$OUT/SERVE_SWEEP.json"
+cmp "$OUT/SERVE_SWEEP.json" "$OUT/SWEEP_SMOKE.json"
+"$REPRO" --http-get "http://$ADDR/metrics" > "$OUT/SERVE_METRICS.json"
+"$REPRO" --check-json "$OUT/SERVE_METRICS.json"
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"
 rm -f "$ADDR_FILE"

@@ -7,6 +7,8 @@
 //! repro --scenario NAME [--scale S] [--seed N] [--jobs N] [--format F]
 //! repro --validate [--seeds N] [--scale smoke|reduced|paper] [--seed N]
 //!       [--jobs N] [--format text|json]
+//! repro sweep --space NAME|PATH [--points N] [--scale S] [--seed N]
+//!       [--jobs N] [--format text|json] [--timing-json PATH]
 //! repro serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
 //!       [--timeout-ms N] [--jobs N] [--addr-file PATH]
 //! repro --http-get URL
@@ -15,7 +17,19 @@
 //!
 //! With no artifact arguments, everything is regenerated in paper order.
 //! Run `repro --list` for the artifact names, the paper artifact each one
-//! reproduces, and its packet budget at the selected scale.
+//! reproduces, and its packet budget at the selected scale — plus the
+//! scripted scenario names and the sweep preset names.
+//!
+//! `sweep` expands a declarative parameter space (`wavelan-core::sweep`)
+//! over a base [`ScenarioSpec`] and runs every point through the
+//! deterministic executor, folding the results into a ranked summary
+//! (best/worst configurations plus per-knob sensitivity). `--space` names
+//! a built-in preset (`--space list` prints them) or a JSON space file;
+//! `--points` overrides the sample count of random/LHS spaces. Sweeps
+//! default to smoke scale (each point is a full scenario run; a 100-point
+//! space at paper scale is 100 paper-scale simulations). Per-point seeds
+//! derive from the point's *content*, so the document is bit-identical at
+//! any worker count and any axis declaration order.
 //!
 //! `--scenario NAME` runs one scripted scenario from the event-DAG library
 //! (`wavelan-core::scenario`) instead of a registry artifact and renders
@@ -79,6 +93,8 @@ usage: repro [--scale smoke|reduced|paper] [--seed N] [--jobs N]
              [--list] [artifact ...]
        repro --scenario NAME [--scale S] [--seed N] [--jobs N] [--format F]
        repro --validate [--seeds N] [--scale S] [--seed N] [--jobs N] [--format F]
+       repro sweep --space NAME|PATH [--points N] [--scale S] [--seed N]
+             [--jobs N] [--format text|json] [--timing-json PATH]
        repro serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
              [--timeout-ms N] [--jobs N] [--addr-file PATH]
        repro --http-get URL
@@ -177,7 +193,8 @@ impl Serialize for ServeBench {
     }
 }
 
-/// Prints the registry listing for `--list`.
+/// Prints the registry listing for `--list`, plus the scripted scenario
+/// names and the sweep presets (the other two runnable namespaces).
 fn list_artifacts(scale: Scale) {
     println!(
         "artifacts in paper order (packet budgets at scale {}):",
@@ -191,12 +208,31 @@ fn list_artifacts(scale: Scale) {
             e.paper_artifact()
         );
     }
+    println!("\nscenarios (event-DAG scripts; run with --scenario <name>):");
+    for n in wavelan_core::scenario::SCENARIO_NAMES {
+        println!("  {n}");
+    }
+    println!("\nsweep presets (run with `repro sweep --space <name>`):");
+    for name in wavelan_core::sweep::PRESET_NAMES {
+        let space = wavelan_core::sweep::preset(name).expect("preset names resolve");
+        let axes: Vec<&str> = space.axes.iter().map(|a| a.field.as_str()).collect();
+        println!(
+            "  {:<12} {:>4} points  {} over {}",
+            name,
+            space.len(),
+            space.sampling.name(),
+            axes.join(" x ")
+        );
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("serve") {
         serve_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("sweep") {
+        sweep_main(&args[1..]);
     }
     let mut scale = Scale::Reduced;
     let mut seed = 1996u64;
@@ -300,10 +336,12 @@ fn main() {
                 println!(
                     "{USAGE}\n\
                      `--validate` checks the reproduction against the paper's \
-                     published values (exit 1 on any fail verdict); `serve` \
-                     starts the HTTP daemon (endpoints: /healthz /artifacts \
-                     /run/{{artifact}} /validate /metrics) and drains on \
-                     SIGTERM/ctrl-c"
+                     published values (exit 1 on any fail verdict); `sweep` \
+                     expands a parameter space over a base scenario spec and \
+                     prints the ranked summary (`--space list` for presets); \
+                     `serve` starts the HTTP daemon (endpoints: /healthz \
+                     /artifacts /run/{{artifact}} /validate /sweep /metrics) \
+                     and drains on SIGTERM/ctrl-c"
                 );
                 return;
             }
@@ -440,6 +478,179 @@ fn main() {
             eprintln!("[serve benchmark written to {path}]");
         }
     }
+}
+
+/// One sweep's wall-clock record, for `sweep --timing-json` (CI throughput
+/// tracking — points per second is the headline).
+struct SweepTiming {
+    space: String,
+    space_hash: String,
+    sampling: String,
+    scale: &'static str,
+    seed: u64,
+    jobs: usize,
+    points: usize,
+    total_packets: u64,
+    seconds: f64,
+}
+
+impl Serialize for SweepTiming {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("SweepTiming", 11)?;
+        s.serialize_field("space", &self.space)?;
+        s.serialize_field("space_hash", &self.space_hash)?;
+        s.serialize_field("sampling", &self.sampling)?;
+        s.serialize_field("scale", &self.scale)?;
+        s.serialize_field("seed", &self.seed)?;
+        s.serialize_field("jobs", &self.jobs)?;
+        s.serialize_field("points", &self.points)?;
+        s.serialize_field("total_packets", &self.total_packets)?;
+        s.serialize_field("seconds", &self.seconds)?;
+        s.serialize_field(
+            "points_per_sec",
+            &(self.points as f64 / self.seconds.max(1e-9)),
+        )?;
+        s.serialize_field(
+            "pkt_per_sec",
+            &(self.total_packets as f64 / self.seconds.max(1e-9)),
+        )?;
+        s.end()
+    }
+}
+
+/// The `repro sweep` subcommand: expand a parameter space and run it over
+/// the deterministic executor, printing the ranked summary. Exit 0 on
+/// success, 2 on usage/parse errors.
+fn sweep_main(args: &[String]) -> ! {
+    use wavelan_core::sweep::{preset, ParameterSpace, PRESET_NAMES};
+    let mut space_arg: Option<String> = None;
+    let mut points: Option<usize> = None;
+    // Sweeps default to smoke: every point is a full scenario run, so the
+    // per-point budget multiplies by the space size.
+    let mut scale = Scale::Smoke;
+    let mut seed = 1996u64;
+    let mut jobs = 0usize;
+    let mut format = Format::Text;
+    let mut timing_json_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--space" => {
+                space_arg = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| usage_error("--space needs a preset name or a path")),
+                )
+            }
+            "--points" => {
+                points = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|n| *n > 0)
+                        .unwrap_or_else(|| usage_error("--points needs a positive number")),
+                )
+            }
+            "--scale" => {
+                scale = match it.next().map(String::as_str) {
+                    Some("smoke") => Scale::Smoke,
+                    Some("reduced") => Scale::Reduced,
+                    Some("paper") => Scale::Paper,
+                    other => usage_error(&format!("unknown scale {other:?}")),
+                }
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage_error("--seed needs an unsigned number"))
+            }
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage_error("--jobs needs a number (0 = one per core)"))
+            }
+            "--format" => {
+                format = match it.next().map(String::as_str) {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    other => usage_error(&format!("unknown format {other:?} (text or json)")),
+                }
+            }
+            "--timing-json" => {
+                timing_json_path = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| usage_error("--timing-json needs a path")),
+                )
+            }
+            flag => usage_error(&format!("unknown sweep flag {flag}")),
+        }
+    }
+    let Some(space_arg) = space_arg else {
+        usage_error("sweep needs --space NAME|PATH (`--space list` prints the presets)");
+    };
+    if space_arg == "list" {
+        println!("sweep presets (run with `repro sweep --space <name>`):");
+        for name in PRESET_NAMES {
+            println!("  {name}");
+        }
+        std::process::exit(0);
+    }
+    let mut space = match preset(&space_arg) {
+        Some(space) => space,
+        None => {
+            let text = std::fs::read_to_string(&space_arg).unwrap_or_else(|e| {
+                eprintln!("{space_arg} is neither a preset nor a readable space file: {e}");
+                eprintln!("presets: {}", PRESET_NAMES.join(" "));
+                std::process::exit(2);
+            });
+            ParameterSpace::parse(&text).unwrap_or_else(|e| {
+                eprintln!("{space_arg}: {e}");
+                std::process::exit(2);
+            })
+        }
+    };
+    if let Some(points) = points {
+        space = space.with_points(points);
+    }
+    let exec = Executor::new(jobs);
+    eprintln!("[executor: {} worker(s)]", exec.jobs());
+    let start = Instant::now();
+    let doc = space.run(scale, seed, &exec).unwrap_or_else(|e| {
+        eprintln!("sweep failed: {e}");
+        std::process::exit(2);
+    });
+    let seconds = start.elapsed().as_secs_f64();
+    // Timing to stderr only: stdout stays bit-identical across runs and
+    // worker counts.
+    eprintln!(
+        "[sweep {}: {} points, {:.2}s, {:.1} points/s]",
+        doc.space,
+        doc.points.len(),
+        seconds,
+        doc.points.len() as f64 / seconds.max(1e-9)
+    );
+    match format {
+        Format::Text => print!("{}", doc.render_text()),
+        Format::Json => print!("{}", to_string_pretty(&doc)),
+    }
+    if let Some(path) = timing_json_path {
+        let timing = SweepTiming {
+            space: doc.space.clone(),
+            space_hash: format!("{:016x}", doc.space_hash),
+            sampling: doc.sampling.to_string(),
+            scale: scale.name(),
+            seed,
+            jobs: exec.jobs(),
+            points: doc.points.len(),
+            total_packets: doc.total_packets,
+            seconds,
+        };
+        write_json_or_die(&path, &to_string_pretty(&timing));
+        eprintln!("[sweep timing written to {path}]");
+    }
+    std::process::exit(0);
 }
 
 /// `--scenario NAME`: run one event-DAG library scenario and render its

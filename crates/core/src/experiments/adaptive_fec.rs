@@ -16,8 +16,10 @@
 
 use super::common::Scale;
 use super::ss_phone;
+use crate::calibration;
 use crate::executor::Executor;
 use crate::registry::Experiment;
+use crate::spec::{interferer_from_source, FecSpec, ScenarioSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use wavelan_analysis::report::{render_blocks, Cell, Column, Table};
@@ -154,6 +156,23 @@ impl Experiment for Fec {
 
     fn packet_budget(&self, scale: Scale) -> u64 {
         6 * scale.packets(ss_phone::PAPER_PACKETS)
+    }
+
+    fn spec(&self) -> ScenarioSpec {
+        // The replayed environment: the "AT&T handset" spread-spectrum-phone
+        // trial, with the adaptive RCPC controller layered on. Sweeps can
+        // walk the phone duty (`interferers[0].duty_pct`).
+        let mut spec = ScenarioSpec::pair("fec", (0.0, 0.0), (12.0, 0.0), ss_phone::PAPER_PACKETS)
+            .with_interferer(interferer_from_source(&calibration::ss_phone_handset_only()))
+            .with_interferer(interferer_from_source(
+                &calibration::ss_phone_handset_residual(),
+            ));
+        spec.propagation.shadowing_sigma_db = 0.0;
+        spec.fec = Some(FecSpec {
+            code_rate: "adaptive".into(),
+            harq_rounds: 0,
+        });
+        spec
     }
 
     fn run(&self, scale: Scale, seed: u64, exec: &Executor) -> Report {

@@ -11,6 +11,7 @@ use super::common::{PointTrial, Scale};
 use crate::executor::{trial_seed, Executor};
 use crate::layouts;
 use crate::registry::Experiment;
+use crate::spec::ScenarioSpec;
 use wavelan_analysis::report::{render_blocks, results_table, signal_table, SignalRow};
 use wavelan_analysis::{Block, PacketClass, Report, TraceAnalysis, TrialSummary};
 use wavelan_sim::{Propagation, SimScratch};
@@ -120,6 +121,18 @@ impl Experiment for Tables8To9 {
 
     fn packet_budget(&self, scale: Scale) -> u64 {
         2 * scale.packets(PAPER_PACKETS)
+    }
+
+    fn spec(&self) -> ScenarioSpec {
+        // The impaired stream: the hallway layout with the person bent over
+        // the receiver's laptop. Sweeps can slide the body (`walls[3].*`)
+        // or remove its effect by moving it off the path.
+        let (mut plan, _, _) = layouts::hallway();
+        layouts::add_body(&mut plan);
+        let mut spec = ScenarioSpec::pair("table8-9", (0.0, 0.0), (56.0, 0.0), PAPER_PACKETS)
+            .with_plan(&plan);
+        spec.propagation.shadowing_sigma_db = 0.0;
+        spec
     }
 
     fn run(&self, scale: Scale, seed: u64, exec: &Executor) -> Report {

@@ -13,6 +13,7 @@ use super::common::{expected_series, test_receiver, test_sender, Scale};
 use crate::executor::{trial_seed, Executor};
 use crate::layouts::{self, MultiRoom};
 use crate::registry::Experiment;
+use crate::spec::{Role, ScenarioSpec, StationSpec};
 use wavelan_analysis::report::{render_blocks, signal_table, SignalRow};
 use wavelan_analysis::{analyze, Block, PacketClass, Report, TraceAnalysis};
 use wavelan_mac::csma::MacStats;
@@ -131,6 +132,32 @@ impl Experiment for Table14 {
     fn packet_budget(&self, scale: Scale) -> u64 {
         let packets = scale.packets(PAPER_PACKETS);
         2 * packets + packets.min(500)
+    }
+
+    fn spec(&self) -> ScenarioSpec {
+        // The "With interference" trial: test pair at threshold 25 in the
+        // multi-room building, deaf competing units saturating at Tx4/Tx5.
+        // Sweeps can walk the victim's threshold
+        // (`stations[0].receive_threshold`) through the masking window.
+        let m = layouts::multiroom();
+        let mut victim = StationSpec::new(Role::Receiver, 0.0, 0.0);
+        victim.receive_threshold = 25;
+        let mut sender = StationSpec::new(Role::Sender, 6.0, 6.5);
+        sender.receive_threshold = 25;
+        let mut spec = ScenarioSpec {
+            name: "table14".into(),
+            stations: vec![
+                victim,
+                sender,
+                StationSpec::new(Role::Jammer, 45.0, 0.0),
+                StationSpec::new(Role::Jammer, 28.5, -9.5),
+            ],
+            packet_budget: PAPER_PACKETS,
+            ..ScenarioSpec::default()
+        }
+        .with_plan(&m.plan);
+        spec.propagation.shadowing_sigma_db = 0.0;
+        spec
     }
 
     fn run(&self, scale: Scale, seed: u64, exec: &Executor) -> Report {

@@ -19,8 +19,10 @@
 
 use super::common::Scale;
 use super::ss_phone;
+use crate::calibration;
 use crate::executor::Executor;
 use crate::registry::Experiment;
+use crate::spec::{interferer_from_source, FecSpec, ScenarioSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use wavelan_analysis::report::{render_blocks, Cell, Column, Table};
@@ -188,6 +190,22 @@ impl Experiment for Harq {
 
     fn packet_budget(&self, scale: Scale) -> u64 {
         6 * scale.packets(ss_phone::PAPER_PACKETS)
+    }
+
+    fn spec(&self) -> ScenarioSpec {
+        // The shootout's channel source: the "AT&T handset" trial, with the
+        // IR-HARQ ladder (start at 8/9, up to 12 incremental rounds).
+        let mut spec = ScenarioSpec::pair("harq", (0.0, 0.0), (12.0, 0.0), ss_phone::PAPER_PACKETS)
+            .with_interferer(interferer_from_source(&calibration::ss_phone_handset_only()))
+            .with_interferer(interferer_from_source(
+                &calibration::ss_phone_handset_residual(),
+            ));
+        spec.propagation.shadowing_sigma_db = 0.0;
+        spec.fec = Some(FecSpec {
+            code_rate: "8/9".into(),
+            harq_rounds: 12,
+        });
+        spec
     }
 
     fn run(&self, scale: Scale, seed: u64, exec: &Executor) -> Report {

@@ -14,6 +14,7 @@
 use super::common::{expected_series, test_receiver, test_sender, Scale};
 use crate::executor::{trial_seed, Executor};
 use crate::registry::Experiment;
+use crate::spec::{Role, ScenarioSpec, StationSpec, WallSpec};
 use wavelan_analysis::report::{render_blocks, Cell, Column, Table};
 use wavelan_analysis::{analyze, Block, Report};
 use wavelan_net::testpkt::Endpoint;
@@ -128,6 +129,33 @@ impl Experiment for HiddenTerminal {
 
     fn packet_budget(&self, scale: Scale) -> u64 {
         2 * Self::per_config(scale)
+    }
+
+    fn spec(&self) -> ScenarioSpec {
+        // The textbook geometry: victim at the origin, near partner 28 ft
+        // out, the hidden transmitter off-axis behind the metal cabinet at
+        // the study's default carrier threshold (its far peer is a
+        // driver-only bookkeeping station). Sweeps can walk the capture
+        // margin (`capture_margin_db`) or the hidden station's position.
+        let mut hidden = StationSpec::new(Role::Jammer, -190.0, 40.0);
+        hidden.receive_threshold = 3;
+        ScenarioSpec {
+            name: "hidden-terminal".into(),
+            walls: vec![WallSpec {
+                x0_ft: 2.0,
+                y0_ft: 2.0,
+                x1_ft: 2.0,
+                y1_ft: 20.0,
+                material: "metal".into(),
+            }],
+            stations: vec![
+                StationSpec::new(Role::Receiver, 0.0, 0.0),
+                StationSpec::new(Role::Sender, 28.0, 0.0),
+                hidden,
+            ],
+            packet_budget: 1_000,
+            ..ScenarioSpec::default()
+        }
     }
 
     fn run(&self, scale: Scale, seed: u64, exec: &Executor) -> Report {

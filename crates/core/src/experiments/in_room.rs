@@ -13,8 +13,8 @@
 
 use super::common::{PointTrial, Scale};
 use crate::executor::{trial_seed, Executor};
-use crate::layouts;
 use crate::registry::Experiment;
+use crate::spec::ScenarioSpec;
 use wavelan_analysis::report::{render_blocks, results_table};
 use wavelan_analysis::{Block, Report, TrialSummary};
 use wavelan_sim::{Propagation, SimScratch};
@@ -101,6 +101,10 @@ impl Experiment for Table2 {
         PAPER_TRIALS.iter().map(|(_, p)| scale.packets(*p)).sum()
     }
 
+    fn spec(&self) -> ScenarioSpec {
+        base_spec()
+    }
+
     fn run(&self, scale: Scale, seed: u64, exec: &Executor) -> Report {
         let result = run_with(scale, seed, exec);
         Report::new(
@@ -112,6 +116,14 @@ impl Experiment for Table2 {
     }
 }
 
+/// The in-room scenario as a declarative spec: an open office, receiver
+/// and sender 7 ft apart line-of-sight, no walls, no interference. The
+/// driver's nine trials all run this geometry; the budget is the longest
+/// trial's (office5).
+pub fn base_spec() -> ScenarioSpec {
+    ScenarioSpec::pair("table2", (0.0, 0.0), (7.0, 0.0), PAPER_TRIALS[4].1)
+}
+
 /// Runs the nine in-room trials at the given scale.
 pub fn run(scale: Scale, base_seed: u64) -> InRoomResult {
     run_with(scale, base_seed, &Executor::default())
@@ -121,14 +133,14 @@ pub fn run(scale: Scale, base_seed: u64) -> InRoomResult {
 /// trial's propagation and scenario streams derive purely from its index,
 /// so the result is identical at any worker count.
 pub fn run_with(scale: Scale, base_seed: u64, exec: &Executor) -> InRoomResult {
+    let spec = base_spec();
     let trials = exec.map_indices_with(PAPER_TRIALS.len(), SimScratch::new, |scratch, i| {
         let (name, paper_packets) = PAPER_TRIALS[i];
-        let (plan, rx, tx) = layouts::office();
         let trial = PointTrial::new(
-            plan,
+            spec.floorplan().expect("spec geometry is valid"),
             Propagation::indoor(trial_seed(EXPERIMENT_ID, 2 * i as u64 + 1, base_seed)),
-            rx,
-            tx,
+            spec.stations[0].position(),
+            spec.stations[1].position(),
             scale.packets(paper_packets),
             trial_seed(EXPERIMENT_ID, 2 * i as u64, base_seed),
         );

@@ -12,6 +12,7 @@ use super::common::{PointTrial, Scale};
 use crate::executor::{trial_seed, Executor};
 use crate::layouts::{self, MultiRoom};
 use crate::registry::Experiment;
+use crate::spec::ScenarioSpec;
 use wavelan_analysis::report::{render_blocks, results_table, signal_table, SignalRow};
 use wavelan_analysis::{Block, PacketClass, Report, TraceAnalysis, TrialSummary};
 use wavelan_sim::{Propagation, SimScratch};
@@ -129,6 +130,17 @@ impl Experiment for Tables5To7 {
 
     fn packet_budget(&self, scale: Scale) -> u64 {
         PAPER_PACKETS.iter().map(|&(_, p)| scale.packets(p)).sum()
+    }
+
+    fn spec(&self) -> ScenarioSpec {
+        // The Tx5 placement (Table 7's breakdown location): through a
+        // concrete wall plus metal and furniture. Sweeps can walk the
+        // sender (`stations[1].*`) through the Figure 4 building.
+        let m = layouts::multiroom();
+        let mut spec = ScenarioSpec::pair("table5-7", (0.0, 0.0), (28.5, -9.5), 1_442)
+            .with_plan(&m.plan);
+        spec.propagation.shadowing_sigma_db = 0.0;
+        spec
     }
 
     fn run(&self, scale: Scale, seed: u64, exec: &Executor) -> Report {

@@ -15,6 +15,7 @@ use super::common::{add_outsider_pair, expected_series, test_receiver, test_send
 use crate::calibration::{narrowband_phone, narrowband_power};
 use crate::executor::{trial_seed, Executor};
 use crate::registry::Experiment;
+use crate::spec::{interferer_from_source, ScenarioSpec};
 use wavelan_analysis::report::{render_blocks, signal_table, SignalRow};
 use wavelan_analysis::{analyze, Block, PacketClass, Report, TraceAnalysis};
 use wavelan_sim::runner::attach_tx_count;
@@ -99,6 +100,17 @@ impl Experiment for Table10 {
 
     fn packet_budget(&self, scale: Scale) -> u64 {
         5 * scale.packets(PAPER_PACKETS)
+    }
+
+    fn spec(&self) -> ScenarioSpec {
+        // The "Handsets nearby talking" trial (outsiders logged, phones
+        // raising the silence level). Sweeps can walk the phone power
+        // (`interferers[0].power_dbm`).
+        ScenarioSpec::pair("table10", (0.0, 0.0), (10.0, 0.0), PAPER_PACKETS)
+            .with_interferer(interferer_from_source(&narrowband_phone(
+                narrowband_power::HANDSETS_TALKING,
+            )))
+            .with_outsiders()
     }
 
     fn run(&self, scale: Scale, seed: u64, exec: &Executor) -> Report {

@@ -14,6 +14,7 @@ use super::common::{PointTrial, Scale};
 use crate::executor::{trial_seed, Executor};
 use crate::layouts;
 use crate::registry::Experiment;
+use crate::spec::{PropagationSpec, ScenarioSpec};
 use wavelan_analysis::report::{render_blocks, Cell, Column, Table};
 use wavelan_analysis::{Block, Report, SignalStats};
 use wavelan_sim::{Point, Propagation, SimScratch};
@@ -119,6 +120,13 @@ impl Experiment for Figure1 {
 
     fn packet_budget(&self, scale: Scale) -> u64 {
         31 * scale.packets(1_440)
+    }
+
+    fn spec(&self) -> ScenarioSpec {
+        // The far end of the figure's ladder (60 ft) in the open lecture
+        // hall; sweeps perturb `stations[1].x_ft` to walk the ladder.
+        ScenarioSpec::pair("figure1", (0.0, 0.0), (60.0, 0.0), 1_440)
+            .with_propagation(PropagationSpec::lecture_hall())
     }
 
     fn run(&self, scale: Scale, seed: u64, exec: &Executor) -> Report {

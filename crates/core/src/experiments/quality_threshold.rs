@@ -13,6 +13,7 @@ use super::common::{expected_series, test_receiver, test_sender, Scale};
 use crate::calibration;
 use crate::executor::{trial_seed, Executor};
 use crate::registry::Experiment;
+use crate::spec::{interferer_from_source, ScenarioSpec};
 use wavelan_analysis::report::{render_blocks, Cell, Column, Table};
 use wavelan_analysis::{analyze, Block, PacketClass, Report};
 use wavelan_mac::Thresholds;
@@ -123,6 +124,20 @@ impl Experiment for QualityThreshold {
 
     fn packet_budget(&self, scale: Scale) -> u64 {
         5 * scale.packets(1_440)
+    }
+
+    fn spec(&self) -> ScenarioSpec {
+        // The mid rung of the quality ladder (threshold 11) over the
+        // AT&T-handset interference stream. Sweeps walk
+        // `stations[0].quality_threshold` through 1..=15.
+        let mut spec = ScenarioSpec::pair("quality-threshold", (0.0, 0.0), (12.0, 0.0), 1_440)
+            .with_interferer(interferer_from_source(&calibration::ss_phone_handset_only()))
+            .with_interferer(interferer_from_source(
+                &calibration::ss_phone_handset_residual(),
+            ));
+        spec.stations[0].quality_threshold = 11;
+        spec.propagation.shadowing_sigma_db = 0.0;
+        spec
     }
 
     fn run(&self, scale: Scale, seed: u64, exec: &Executor) -> Report {

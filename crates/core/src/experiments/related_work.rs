@@ -18,6 +18,7 @@
 use super::common::{expected_series, test_receiver, test_sender, Scale};
 use crate::executor::{trial_seed, Executor};
 use crate::registry::Experiment;
+use crate::spec::{PropagationSpec, ScenarioSpec};
 use wavelan_analysis::report::{render_blocks, Cell, Column, Table};
 use wavelan_analysis::{analyze, Block, PacketClass, Report};
 use wavelan_phy::fading::TwoRay;
@@ -141,6 +142,14 @@ impl Experiment for RelatedWork {
 
     fn packet_budget(&self, scale: Scale) -> u64 {
         16 * Self::per_point(scale)
+    }
+
+    fn spec(&self) -> ScenarioSpec {
+        // The far end of the benign sweep (60 ft, open lecture hall); the
+        // difficult regime's two-ray reflector is a driver-only knob.
+        // Sweeps perturb `stations[1].x_ft` to walk either regime's ladder.
+        ScenarioSpec::pair("related-work", (0.0, 0.0), (60.0, 0.0), 800)
+            .with_propagation(PropagationSpec::lecture_hall())
     }
 
     fn run(&self, scale: Scale, seed: u64, exec: &Executor) -> Report {

@@ -8,6 +8,7 @@
 use super::common::Scale;
 use crate::executor::Executor;
 use crate::registry::Experiment;
+use crate::spec::{Role, ScenarioSpec, StationSpec};
 use wavelan_analysis::Report;
 use wavelan_cell::roaming::{walk, RoamReport, TwoCells};
 
@@ -56,6 +57,24 @@ impl Experiment for Roaming {
         // Saturated airtime trials, not a fixed transmission quota: the
         // budget reports the step count times the per-step duration in ms.
         (STEPS as u64) * TRIAL_MS
+    }
+
+    fn spec(&self) -> ScenarioSpec {
+        // The walk's midpoint: the roamer halfway between the two base
+        // stations (200 ft apart, receive threshold 12). The walk itself
+        // lives in `wavelan-cell`; sweeps can slide the roamer
+        // (`stations[1].x_ft`) through the border zone.
+        let mut home = StationSpec::new(Role::Receiver, 0.0, 0.0);
+        home.receive_threshold = 12;
+        let mut roamer = StationSpec::new(Role::Sender, 100.0, 0.0);
+        roamer.receive_threshold = 12;
+        roamer.interval_ns = 0;
+        ScenarioSpec {
+            name: "roaming".into(),
+            stations: vec![home, roamer],
+            packet_budget: (STEPS as u64) * TRIAL_MS,
+            ..ScenarioSpec::default()
+        }
     }
 
     fn run(&self, _scale: Scale, seed: u64, _exec: &Executor) -> Report {

@@ -14,6 +14,7 @@
 use super::common::{add_outsider_pair, expected_series, test_receiver, test_sender, Scale};
 use crate::executor::{trial_seed, Executor};
 use crate::registry::Experiment;
+use crate::spec::ScenarioSpec;
 use wavelan_analysis::report::{render_blocks, signal_table, Cell, Column, SignalRow, Table};
 use wavelan_analysis::{analyze, Block, PacketClass, Report, TraceAnalysis};
 use wavelan_sim::runner::attach_tx_count;
@@ -151,6 +152,20 @@ fn budget(scale: Scale) -> u64 {
     POSITION_LADDER_FT.len() as u64 * scale.packets(8_634 / POSITION_LADDER_FT.len() as u64)
 }
 
+/// The ladder's deepest error-region rung (330 ft) with the outsider pair —
+/// the trial that produces the damaged-packet population both artifacts are
+/// about. Sweeps walk `stations[1].x_ft` back up the ladder.
+fn ladder_spec(name: &str) -> ScenarioSpec {
+    let far = POSITION_LADDER_FT[POSITION_LADDER_FT.len() - 1];
+    ScenarioSpec::pair(
+        name,
+        (0.0, 0.0),
+        (far, 0.0),
+        8_634 / POSITION_LADDER_FT.len() as u64,
+    )
+    .with_outsiders()
+}
+
 impl Experiment for Table3 {
     fn id(&self) -> u64 {
         EXPERIMENT_ID
@@ -170,6 +185,10 @@ impl Experiment for Table3 {
 
     fn packet_budget(&self, scale: Scale) -> u64 {
         budget(scale)
+    }
+
+    fn spec(&self) -> ScenarioSpec {
+        ladder_spec("table3")
     }
 
     fn run(&self, scale: Scale, seed: u64, exec: &Executor) -> Report {
@@ -202,6 +221,10 @@ impl Experiment for Figure2 {
 
     fn packet_budget(&self, scale: Scale) -> u64 {
         budget(scale)
+    }
+
+    fn spec(&self) -> ScenarioSpec {
+        ladder_spec("figure2")
     }
 
     fn run(&self, scale: Scale, seed: u64, exec: &Executor) -> Report {

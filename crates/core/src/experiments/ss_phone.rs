@@ -18,6 +18,7 @@ use super::common::{add_outsider_pair, expected_series, test_receiver, test_send
 use crate::calibration;
 use crate::executor::{trial_seed, Executor};
 use crate::registry::Experiment;
+use crate::spec::{interferer_from_source, ScenarioSpec};
 use wavelan_analysis::report::{render_blocks, results_table, signal_table, SignalRow};
 use wavelan_analysis::{analyze, Block, PacketClass, Report, TraceAnalysis, TrialSummary};
 use wavelan_sim::runner::attach_tx_count;
@@ -195,6 +196,20 @@ impl Experiment for Tables11To13 {
 
     fn packet_budget(&self, scale: Scale) -> u64 {
         6 * scale.packets(PAPER_PACKETS)
+    }
+
+    fn spec(&self) -> ScenarioSpec {
+        // The "AT&T handset" trial — the intermediate case with correctable
+        // body errors. Sweeps can walk the phone burst duty
+        // (`interferers[0].duty_pct`) or its power.
+        let mut spec = ScenarioSpec::pair("table11-13", (0.0, 0.0), (12.0, 0.0), PAPER_PACKETS)
+            .with_interferer(interferer_from_source(&calibration::ss_phone_handset_only()))
+            .with_interferer(interferer_from_source(
+                &calibration::ss_phone_handset_residual(),
+            ))
+            .with_outsiders();
+        spec.propagation.shadowing_sigma_db = 0.0;
+        spec
     }
 
     fn run(&self, scale: Scale, seed: u64, exec: &Executor) -> Report {

@@ -14,6 +14,7 @@
 use super::common::Scale;
 use crate::executor::{trial_seed, Executor};
 use crate::registry::Experiment;
+use crate::spec::{Role, ScenarioSpec, StationSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use wavelan_analysis::report::{render_blocks, Cell, Column, Table};
@@ -141,6 +142,24 @@ impl Experiment for Tdma {
         // Slot-level shootout: 8 load points × frames × slots, not packets
         // through the radio sim; the budget reports the slot count.
         (REGISTRY_STATIONS * REGISTRY_FRAMES * 16) as u64
+    }
+
+    fn spec(&self) -> ScenarioSpec {
+        // The shootout is slot-level, not radio-level; the spec records the
+        // cell it models — one receiver and eight saturating stations in an
+        // open room (the load sweep itself is a driver-only knob).
+        let mut stations = vec![StationSpec::new(Role::Receiver, 0.0, 0.0)];
+        for i in 0..REGISTRY_STATIONS {
+            let mut s = StationSpec::new(Role::Sender, 7.0 + i as f64, 0.0);
+            s.interval_ns = 0;
+            stations.push(s);
+        }
+        ScenarioSpec {
+            name: "tdma".into(),
+            stations,
+            packet_budget: (REGISTRY_STATIONS * REGISTRY_FRAMES * 16) as u64,
+            ..ScenarioSpec::default()
+        }
     }
 
     fn run(&self, _scale: Scale, seed: u64, exec: &Executor) -> Report {

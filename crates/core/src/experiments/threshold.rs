@@ -18,6 +18,7 @@
 use super::common::{expected_series, test_receiver, test_sender, Scale};
 use crate::executor::{trial_seed, Executor};
 use crate::registry::Experiment;
+use crate::spec::{Role, ScenarioSpec, StationSpec};
 use wavelan_analysis::analyze;
 use wavelan_analysis::report::{render_blocks, Cell, Column, Table};
 use wavelan_analysis::{Block, Report};
@@ -109,6 +110,23 @@ impl Experiment for Figure3 {
 
     fn packet_budget(&self, scale: Scale) -> u64 {
         13 * scale.packets(1_440)
+    }
+
+    fn spec(&self) -> ScenarioSpec {
+        // The mid-window rung of the sweep: victim filtering at 20 against
+        // a saturating, carrier-deaf enemy 40 ft away (level ≈ 20). Sweeps
+        // walk `stations[0].receive_threshold` through the window.
+        let mut victim = StationSpec::new(Role::Receiver, 0.0, 0.0);
+        victim.receive_threshold = 20;
+        let mut enemy = StationSpec::new(Role::Sender, 40.0, 0.0);
+        enemy.receive_threshold = 35;
+        enemy.interval_ns = 0;
+        ScenarioSpec {
+            name: "figure3".into(),
+            stations: vec![victim, enemy],
+            packet_budget: 1_440,
+            ..ScenarioSpec::default()
+        }
     }
 
     fn run(&self, scale: Scale, seed: u64, exec: &Executor) -> Report {

@@ -13,6 +13,7 @@ use super::common::{PointTrial, Scale};
 use crate::executor::{trial_seed, Executor};
 use crate::layouts;
 use crate::registry::Experiment;
+use crate::spec::ScenarioSpec;
 use wavelan_analysis::report::{render_blocks, signal_table, SignalRow};
 use wavelan_analysis::{Block, Report, TraceAnalysis};
 use wavelan_phy::Material;
@@ -103,6 +104,17 @@ impl Experiment for Table4 {
 
     fn packet_budget(&self, scale: Scale) -> u64 {
         4 * scale.packets(PAPER_PACKETS)
+    }
+
+    fn spec(&self) -> ScenarioSpec {
+        // The Wall 1 trial: 7 ft separation through the plaster/wire-mesh
+        // wall, shadowing pinned as the driver does. Sweeps can move the
+        // wall (`walls[0].*`) or the sender (`stations[1].x_ft`).
+        let (plan, _, _) = layouts::single_wall(Material::PlasterWireMesh, 0.0);
+        let mut spec =
+            ScenarioSpec::pair("table4", (0.0, 0.0), (7.0, 0.0), PAPER_PACKETS).with_plan(&plan);
+        spec.propagation.shadowing_sigma_db = 0.0;
+        spec
     }
 
     fn run(&self, scale: Scale, seed: u64, exec: &Executor) -> Report {

@@ -50,7 +50,11 @@ pub mod experiments;
 pub mod layouts;
 pub mod registry;
 pub mod scenario;
+pub mod spec;
+pub mod sweep;
 
 pub use executor::{trial_seed, Executor, TrialPanic};
 pub use experiments::common::Scale;
 pub use registry::{find, Experiment, NAMES, REGISTRY};
+pub use spec::{ScenarioSpec, SpecError, SpecMetrics};
+pub use sweep::{ParameterSpace, SweepDocument};

@@ -14,6 +14,7 @@ use crate::experiments::{
     path_loss, quality_threshold, related_work, roaming, signal_vs_error, ss_phone, tdma,
     threshold, walls,
 };
+use crate::spec::ScenarioSpec;
 use wavelan_analysis::Report;
 
 /// One registered experiment, producing one paper artifact (or one
@@ -54,6 +55,15 @@ pub trait Experiment: Sync {
     /// experiment asks the simulator for, not the stochastic delivery
     /// count.
     fn packet_budget(&self, scale: Scale) -> u64;
+
+    /// The experiment's representative scenario as a declarative
+    /// [`ScenarioSpec`] value: the geometry, placements, interference, and
+    /// knobs of the artifact's canonical trial (multi-trial artifacts pick
+    /// the trial that defines the artifact — e.g. the jamming placement for
+    /// Tables 11–13). This is the spec `repro sweep` spaces perturb and the
+    /// serialization `/artifacts` listings can expose; the driver's own
+    /// trial loop remains authoritative for the paper tables.
+    fn spec(&self) -> ScenarioSpec;
 
     /// Runs the experiment and returns its structured report.
     fn run(&self, scale: Scale, seed: u64, exec: &Executor) -> Report;
@@ -146,5 +156,21 @@ mod tests {
             "table11-13"
         );
         assert!(find("table99").is_none());
+    }
+
+    #[test]
+    fn every_spec_builds_and_round_trips() {
+        for entry in REGISTRY.iter() {
+            let spec = entry.spec();
+            assert_eq!(spec.name, entry.artifact_name(), "spec name mismatch");
+            assert!(spec.packet_budget > 0, "{}: empty budget", spec.name);
+            let (_, _, _) = spec
+                .build(1996)
+                .unwrap_or_else(|e| panic!("{}: {e}", entry.artifact_name()));
+            let json = spec.to_json();
+            let back = ScenarioSpec::parse(&json)
+                .unwrap_or_else(|e| panic!("{}: {e}", entry.artifact_name()));
+            assert_eq!(back, spec, "{}: JSON round-trip", entry.artifact_name());
+        }
     }
 }

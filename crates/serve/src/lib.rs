@@ -16,6 +16,7 @@
 //! | `GET /artifacts` | registry listing with paper metadata and packet budgets (JSON) |
 //! | `GET /run/{artifact}?seed=N&scale=S` | the artifact's [`RunDocument`] — byte-identical to `repro --format json {artifact}` |
 //! | `GET /validate?seeds=N&seed=N&scale=S` | the fidelity harness's `FidelityReport` (JSON) |
+//! | `GET /sweep?preset=P&seed=N&scale=S&points=N` | a parameter-sweep `SweepDocument` — byte-identical to `repro sweep --space P --format json` |
 //! | `GET /metrics` | request counts, cache hits/misses, per-label latency histograms (JSON) |
 //!
 //! ## Architecture
@@ -24,10 +25,11 @@
 //! pool. Admission control is exact because every connection carries one
 //! request (`Connection: close`): when the queue is full the accept loop
 //! answers `429` immediately instead of letting latency grow unbounded.
-//! Each worker parses, routes, and — for the two compute endpoints —
+//! Each worker parses, routes, and — for the compute endpoints —
 //! consults the **sharded LRU result cache** first. Runs are deterministic,
-//! so the cache key `(artifact, seed, scale)` fully identifies the response
-//! bytes; repeat requests never re-simulate. Misses run on a detached
+//! so the cache key `(artifact, seed, scale)` — for `/sweep`, the
+//! parameter space's canonical hash in place of the artifact name — fully
+//! identifies the response bytes; repeat requests never re-simulate. Misses run on a detached
 //! compute thread (each request gets its own [`Executor`], the same
 //! deterministic trial fan-out the CLI uses) so the worker can enforce the
 //! **per-request deadline**: a run that outlives it gets `503` and the
@@ -62,7 +64,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use wavelan_analysis::json::to_string_pretty;
 use wavelan_analysis::RunDocument;
-use wavelan_core::{registry, Executor, Scale};
+use wavelan_core::{registry, sweep, Executor, Scale};
 
 /// Tuning knobs for a [`Server`].
 #[derive(Debug, Clone)]
@@ -102,6 +104,10 @@ pub const DEFAULT_SEED: u64 = 1996;
 /// Ceiling on `/validate?seeds=N` — each seed is a full multi-artifact
 /// sweep, so an unbounded N would be a self-inflicted denial of service.
 pub const MAX_VALIDATE_SEEDS: u64 = 32;
+
+/// Ceiling on `/sweep?points=N` — every point is a full scenario run, so
+/// the same self-DoS logic as [`MAX_VALIDATE_SEEDS`] applies.
+pub const MAX_SWEEP_POINTS: usize = 4_096;
 
 /// Shared server state: queue, cache, counters, shutdown flag.
 struct State {
@@ -367,11 +373,14 @@ fn handle_connection(state: &Arc<State>, mut stream: TcpStream, admitted_at: Ins
         "/validate" => {
             handle_validate(state, stream, &request, admitted_at);
         }
+        "/sweep" => {
+            handle_sweep(state, stream, &request, admitted_at);
+        }
         _ => respond(state, stream, 404, "notfound", admitted_at, true, |_| {
             (
                 "text/plain; charset=utf-8",
                 String::from(
-                    "no such endpoint; try /healthz /artifacts /run/{artifact} /validate /metrics\n",
+                    "no such endpoint; try /healthz /artifacts /run/{artifact} /validate /sweep /metrics\n",
                 ),
             )
         }),
@@ -448,6 +457,79 @@ fn handle_validate(state: &Arc<State>, stream: TcpStream, request: &Request, adm
         to_string_pretty(&wavelan_validate::run(&config, &exec))
     });
     respond_computed(state, stream, "validate", admitted_at, computed);
+}
+
+/// `GET /sweep?preset=P&seed=N&scale=S&points=N`.
+///
+/// Scale defaults to **smoke** here (unlike `/run`'s reduced): the
+/// per-point budget multiplies by the space size, and matching the
+/// `repro sweep` default keeps the daemon's bytes comparable to the CLI's
+/// without extra flags.
+fn handle_sweep(state: &Arc<State>, stream: TcpStream, request: &Request, admitted_at: Instant) {
+    let params = match RunParams::from_query(request, &["preset", "seed", "scale", "points"]) {
+        Ok(params) => params,
+        Err(why) => {
+            respond(state, stream, 400, "sweep", admitted_at, true, |_| {
+                ("text/plain; charset=utf-8", format!("{why}\n"))
+            });
+            return;
+        }
+    };
+    let scale = if request.param("scale").is_none() {
+        Scale::Smoke
+    } else {
+        params.scale
+    };
+    let preset_name = request.param("preset").unwrap_or(sweep::PRESET_NAMES[0]);
+    let Some(mut space) = sweep::preset(preset_name) else {
+        let preset_name = preset_name.to_string();
+        respond(state, stream, 404, "sweep", admitted_at, true, move |_| {
+            (
+                "text/plain; charset=utf-8",
+                format!(
+                    "unknown sweep preset {preset_name:?}; valid presets: {}\n",
+                    sweep::PRESET_NAMES.join(" ")
+                ),
+            )
+        });
+        return;
+    };
+    match request.param("points") {
+        None => {}
+        Some(raw) => match raw
+            .parse::<usize>()
+            .ok()
+            .filter(|n| (1..=MAX_SWEEP_POINTS).contains(n))
+        {
+            Some(points) => space = space.with_points(points),
+            None => {
+                let raw = raw.to_string();
+                respond(state, stream, 400, "sweep", admitted_at, true, move |_| {
+                    (
+                        "text/plain; charset=utf-8",
+                        format!("points must be an integer in 1..={MAX_SWEEP_POINTS}, got {raw:?}"),
+                    )
+                });
+                return;
+            }
+        },
+    }
+    let key = format!(
+        "sweep:{:016x}:{}:{}",
+        space.canonical_hash(),
+        params.seed,
+        scale.name()
+    );
+    let jobs = state.jobs_per_run;
+    let seed = params.seed;
+    let computed = compute_cached(state, &key, admitted_at, move || {
+        let exec = Executor::new(jobs);
+        let doc = space
+            .run(scale, seed, &exec)
+            .unwrap_or_else(|e| panic!("sweep failed: {e}"));
+        to_string_pretty(&doc)
+    });
+    respond_computed(state, stream, "sweep", admitted_at, computed);
 }
 
 /// Validated query parameters of the compute endpoints.

@@ -270,6 +270,51 @@ fn graceful_shutdown_drains_in_flight_requests() {
 }
 
 #[test]
+fn sweep_endpoint_matches_cli_bytes_and_caches() {
+    let (addr, handle, join) = start(Config {
+        workers: 2,
+        ..Config::default()
+    });
+    // What `repro sweep --space oven-smoke --format json` prints — the
+    // byte-exact contract for `/sweep`.
+    let space = wavelan_core::sweep::preset("oven-smoke").expect("preset exists");
+    let expected = to_string_pretty(
+        &space
+            .run(Scale::Smoke, 1996, &Executor::serial())
+            .expect("sweep runs"),
+    );
+
+    let r = fetch(&addr, "/sweep?preset=oven-smoke&seed=1996&scale=smoke");
+    assert_eq!(r.status, 200);
+    assert_eq!(r.body, expected, "daemon sweep bytes differ from the CLI");
+
+    // The defaults (preset oven-smoke, seed 1996, scale smoke) name the
+    // same space hash → same cache key → a hit, not a re-run.
+    let before = parse(&fetch(&addr, "/metrics").body).expect("metrics parse");
+    let hits_before = metric(&before, &["cache", "hits"]);
+    let r = fetch(&addr, "/sweep");
+    assert_eq!(r.status, 200);
+    assert_eq!(r.body, expected);
+    let after = parse(&fetch(&addr, "/metrics").body).expect("metrics parse");
+    assert_eq!(
+        metric(&after, &["cache", "hits"]),
+        hits_before + 1,
+        "default-parameter sweep must hit the cache"
+    );
+
+    // Unknown preset → 404 listing the valid names; bad points → 400; a
+    // resized sampled space still serves.
+    let r = fetch(&addr, "/sweep?preset=no-such-space");
+    assert_eq!(r.status, 404);
+    assert!(r.body.contains("oven-smoke"));
+    assert_eq!(fetch(&addr, "/sweep?points=0").status, 400);
+    assert_eq!(fetch(&addr, "/sweep?points=banana").status, 400);
+    assert_eq!(fetch(&addr, "/sweep?preset=oven-lhs&points=4").status, 200);
+    handle.request();
+    join.join().expect("server thread").expect("clean run");
+}
+
+#[test]
 fn artifacts_listing_covers_the_registry() {
     let (addr, handle, join) = start(Config {
         workers: 1,
