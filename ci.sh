@@ -48,6 +48,24 @@ cargo run --release -p wavelan-bench --bin repro -- sweep --space oven-grid --fo
 cargo run --release -p wavelan-bench --bin repro -- --check-json BENCH_PR8.json
 cargo run --release -p wavelan-bench --bin repro -- --check-json "$OUT/SWEEP_GRID.json"
 
+# Trace-pipeline gate: export one artifact's columnar trace, re-analyze it
+# offline, and require the offline report to match the live run's JSON
+# byte-for-byte. The `trace-info` header summary is pinned against a golden
+# snapshot (format version, spec hash, seed, per-stream tallies), the
+# streaming conformance suites run explicitly (all 18 artifacts
+# streamed==buffered, jobs-invariance, export→reanalyze identity, codec
+# property tests, the constant-memory proof), and the streamed-vs-buffered
+# capture throughput lands in BENCH_PR9.json.
+cargo run --release -p wavelan-bench --bin repro -- table2 --scale smoke --seed 1996 --trace-out "$OUT/TRACE_TABLE2.wltc" --format json > "$OUT/TRACE_LIVE.json"
+cargo run --release -p wavelan-bench --bin repro -- reanalyze "$OUT/TRACE_TABLE2.wltc" --format json > "$OUT/TRACE_REANALYZED.json"
+cmp "$OUT/TRACE_LIVE.json" "$OUT/TRACE_REANALYZED.json"
+cargo run --release -p wavelan-bench --bin repro -- trace-info "$OUT/TRACE_TABLE2.wltc" > "$OUT/TRACE_INFO.txt"
+cmp "$OUT/TRACE_INFO.txt" tests/golden/trace_header_smoke.txt
+cargo test -q --test trace_stream --test stream_memory
+cargo test -q -p wavelan-analysis --test tracecodec_props
+cargo run --release -p wavelan-bench --bin repro -- table2 --scale smoke --capture-bench BENCH_PR9.json
+cargo run --release -p wavelan-bench --bin repro -- --check-json BENCH_PR9.json
+
 # Paper-fidelity gate: every Table 2-14 / Figure 1-3 expectation must be
 # within tolerance (exit 1 on any fail verdict), and the report must parse
 # with the vendored JSON parser.

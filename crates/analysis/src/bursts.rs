@@ -154,6 +154,7 @@ mod tests {
         TraceRecord {
             time_ns: 0,
             bytes,
+            wire_len: crate::matcher::full_wire_len() as u32,
             level: 29,
             silence: 3,
             quality: 15,

@@ -17,7 +17,7 @@ use crate::matcher::{self, ExpectedSeries, MatchEvidence};
 use crate::stats::SignalStats;
 use wavelan_mac::network_id::strip_network_id;
 use wavelan_net::EthernetFrame;
-use wavelan_sim::{Trace, TraceRecord};
+use wavelan_sim::{RecordView, Trace, TraceRecord};
 
 /// Damage classification of one packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -122,13 +122,44 @@ impl TraceAnalysis {
     }
 }
 
+/// Reusable workspace for the classifier: the body-word buffer, so
+/// classifying a record in a streaming fold allocates nothing.
+#[derive(Debug, Default)]
+pub struct ClassifyScratch {
+    words: Vec<u32>,
+}
+
+impl ClassifyScratch {
+    /// A fresh workspace (the word buffer grows to 256 words and stays).
+    pub fn new() -> ClassifyScratch {
+        ClassifyScratch::default()
+    }
+}
+
 /// Classifies one logged packet.
 pub fn classify_record(
     index: usize,
     record: &TraceRecord,
     expected: &ExpectedSeries,
 ) -> AnalyzedPacket {
-    let evidence = matcher::evaluate(&record.bytes, expected);
+    classify_view(index, &record.view(), expected, &mut ClassifyScratch::new())
+}
+
+/// Classifies one borrowed record — the streaming form: no allocation once
+/// `scratch` has warmed up. The truncation verdict compares the delivered
+/// bytes against the record's own announced wire length, so non-standard
+/// frame sizes (the pulsed-interference sweeps' [`FrameKind::Sized`] frames)
+/// classify correctly too.
+///
+/// [`FrameKind::Sized`]: wavelan_sim::station::FrameKind::Sized
+pub fn classify_view(
+    index: usize,
+    view: &RecordView<'_>,
+    expected: &ExpectedSeries,
+    scratch: &mut ClassifyScratch,
+) -> AnalyzedPacket {
+    let evidence =
+        matcher::evaluate_in(view.bytes, view.wire_len as usize, expected, &mut scratch.words);
     let base = AnalyzedPacket {
         index,
         is_test: evidence.is_test_packet(),
@@ -136,28 +167,28 @@ pub fn classify_record(
         seq: None,
         body_bit_errors: 0,
         body_bits_received: 0,
-        level: record.level,
-        silence: record.silence,
-        quality: record.quality,
+        level: view.level,
+        silence: view.silence,
+        quality: view.quality,
     };
     if base.is_test {
-        classify_test_packet(base, record, expected, &evidence)
+        classify_test_packet(base, view, expected, &evidence, &scratch.words)
     } else {
-        classify_outsider(base, record)
+        classify_outsider(base, view)
     }
 }
 
 fn classify_test_packet(
     mut p: AnalyzedPacket,
-    record: &TraceRecord,
+    view: &RecordView<'_>,
     expected: &ExpectedSeries,
     evidence: &MatchEvidence,
+    words: &[u32],
 ) -> AnalyzedPacket {
-    p.seq = matcher::recover_sequence(&record.bytes, evidence);
-    let words = matcher::body_words(&record.bytes);
+    p.seq = matcher::recover_sequence(view.bytes, evidence);
     p.body_bits_received = words.len() as u64 * 32;
 
-    if record.bytes.len() < matcher::full_wire_len() {
+    if view.bytes.len() < view.wire_len as usize {
         p.class = PacketClass::Truncated;
         return p;
     }
@@ -172,12 +203,9 @@ fn classify_test_packet(
     }
 
     // Body intact: check the wrapper (modem framing + Ethernet + IP).
-    let wrapper_ok = match strip_network_id(&record.bytes) {
+    let wrapper_ok = match strip_network_id(view.bytes) {
         Some((id, eth_bytes)) => {
-            id == expected.network_id
-                && EthernetFrame::parse(eth_bytes)
-                    .map(|f| f.fcs_ok)
-                    .unwrap_or(false)
+            id == expected.network_id && EthernetFrame::check_fcs(eth_bytes).unwrap_or(false)
         }
         None => false,
     };
@@ -189,12 +217,11 @@ fn classify_test_packet(
     p
 }
 
-fn classify_outsider(mut p: AnalyzedPacket, record: &TraceRecord) -> AnalyzedPacket {
+fn classify_outsider(mut p: AnalyzedPacket, view: &RecordView<'_>) -> AnalyzedPacket {
     // For foreign packets we cannot know the intended length or contents;
     // "undamaged" means what arrived frames correctly and passes its own FCS.
-    let intact = strip_network_id(&record.bytes)
-        .and_then(|(_, eth)| EthernetFrame::parse(eth).ok())
-        .map(|f| f.fcs_ok)
+    let intact = strip_network_id(view.bytes)
+        .map(|(_, eth)| EthernetFrame::check_fcs(eth).unwrap_or(false))
         .unwrap_or(false);
     p.class = if intact {
         PacketClass::Undamaged
@@ -206,12 +233,13 @@ fn classify_outsider(mut p: AnalyzedPacket, record: &TraceRecord) -> AnalyzedPac
 
 /// Classifies a whole trace.
 pub fn classify_trace(trace: &Trace, expected: &ExpectedSeries) -> TraceAnalysis {
+    let mut scratch = ClassifyScratch::new();
     TraceAnalysis {
         packets: trace
             .records
             .iter()
             .enumerate()
-            .map(|(i, r)| classify_record(i, r, expected))
+            .map(|(i, r)| classify_view(i, &r.view(), expected, &mut scratch))
             .collect(),
         transmitted: trace.packets_transmitted,
     }
@@ -235,6 +263,7 @@ mod tests {
         TraceRecord {
             time_ns: 0,
             bytes,
+            wire_len: matcher::full_wire_len() as u32,
             level: 29,
             silence: 3,
             quality: 15,
@@ -326,6 +355,57 @@ mod tests {
         let p = classify_record(0, &record(damaged), &series());
         assert!(!p.is_test);
         assert_eq!(p.class, PacketClass::BodyDamaged);
+    }
+
+    /// A sized test-style frame (the pulsed-interference sweeps' frames):
+    /// unicast, ethertype 0x88B5, `body` bytes of mostly-zero body, wrapped
+    /// with the testbed network ID — exactly what
+    /// `wavelan_sim::runner::sized_frame` puts on the air.
+    fn sized_wire(seq: u32, body_len: usize) -> Vec<u8> {
+        let e = series();
+        let mut body = vec![0u8; body_len.max(46)];
+        body[..4].copy_from_slice(&seq.to_be_bytes());
+        body[4..10].copy_from_slice(e.src.mac.as_bytes());
+        let eth = wavelan_net::EthernetFrame::build(
+            e.dst.mac,
+            e.src.mac,
+            wavelan_net::EtherType::Other(0x88B5),
+            &body,
+        );
+        wrap_with_network_id(e.network_id, &eth)
+    }
+
+    #[test]
+    fn complete_small_sized_frame_is_not_truncated() {
+        // The PR 8 bug: a complete 64-byte-body frame is shorter than the
+        // fixed test-packet length, and a classifier keyed on that length
+        // called it Truncated. With per-record wire length it is complete.
+        let wire = sized_wire(3, 64);
+        assert!(wire.len() < matcher::full_wire_len());
+        let rec = TraceRecord {
+            wire_len: wire.len() as u32,
+            ..record(wire)
+        };
+        let p = classify_record(0, &rec, &series());
+        assert!(p.is_test, "sized frames belong to the test series");
+        assert_ne!(p.class, PacketClass::Truncated);
+    }
+
+    #[test]
+    fn oversize_sized_frame_truncated_past_standard_length_is_truncated() {
+        // Dual of the bug: a 1500-byte-body frame cut at 1200 delivered
+        // bytes is truncated, but 1200 exceeds the fixed test-packet length
+        // so the old classifier called it complete.
+        let wire = sized_wire(4, 1500);
+        assert!(wire.len() > matcher::full_wire_len());
+        let cut = wire[..1200].to_vec();
+        let rec = TraceRecord {
+            wire_len: wire.len() as u32,
+            ..record(cut)
+        };
+        let p = classify_record(0, &rec, &series());
+        assert!(p.is_test);
+        assert_eq!(p.class, PacketClass::Truncated);
     }
 
     #[test]

@@ -33,7 +33,11 @@
 //! * [`bursts`] — error-burst statistics and Gilbert–Elliott fitting over
 //!   measured syndromes (feeds interleaver-depth choices in `wavelan-fec`),
 //! * [`lossruns`] — temporal structure of packet loss from recovered
-//!   sequence numbers (isolated drops vs multi-packet outages).
+//!   sequence numbers (isolated drops vs multi-packet outages),
+//! * [`stream`] — the classifier + Table 1 aggregation as a constant-memory
+//!   [`wavelan_sim::TraceSink`] fold (bit-identical to the buffered path),
+//! * [`tracecodec`] — the self-describing columnar trace export format
+//!   ("WLTC") for offline re-analysis.
 //!
 //! The pipeline never reads the simulator's ground truth; tests score it
 //! against the truth after the fact.
@@ -45,17 +49,21 @@ pub mod lossruns;
 pub mod matcher;
 pub mod report;
 pub mod stats;
+pub mod stream;
 pub mod summary;
+pub mod tracecodec;
 
 pub use bursts::{burst_report, BurstReport};
-pub use classify::{AnalyzedPacket, PacketClass, TraceAnalysis};
+pub use classify::{AnalyzedPacket, ClassifyScratch, PacketClass, TraceAnalysis};
 pub use lossruns::{loss_runs, LossRunReport};
 pub use matcher::ExpectedSeries;
 pub use report::{
     render_blocks, Align, Block, Cell, Column, Report, RunDocument, StatField, StatsCell, Table,
 };
 pub use stats::SignalStats;
+pub use stream::StreamAnalysis;
 pub use summary::TrialSummary;
+pub use tracecodec::{CodecError, StreamTail, TraceMeta, TraceReader, TraceWriter};
 
 use wavelan_sim::Trace;
 

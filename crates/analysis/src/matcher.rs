@@ -80,21 +80,33 @@ pub fn full_wire_len() -> usize {
 
 /// Extracts the (available) 32-bit body words from the on-air bytes.
 pub fn body_words(bytes: &[u8]) -> Vec<u32> {
+    let mut words = Vec::new();
+    body_words_into(bytes, full_wire_len(), &mut words);
+    words
+}
+
+/// [`body_words`] into a caller-owned buffer (cleared first), against the
+/// packet's *intended* on-air length: a complete delivery's trailing FCS is
+/// excluded; a truncated one keeps everything after the headers. Callers
+/// without per-record wire-length information pass [`full_wire_len`].
+pub fn body_words_into(bytes: &[u8], wire_len: usize, out: &mut Vec<u32>) {
+    out.clear();
     let start = body_offset();
-    // The last 4 on-air bytes of a *full* packet are the FCS, not body; for
-    // truncated packets everything after `start` is (partial) body.
-    let end = if bytes.len() >= full_wire_len() {
-        full_wire_len() - wavelan_net::ETHERNET_TRAILER_LEN
+    // The last 4 on-air bytes of a *complete* packet are the FCS, not body;
+    // for truncated packets everything after `start` is (partial) body.
+    let end = if bytes.len() >= wire_len {
+        wire_len.saturating_sub(wavelan_net::ETHERNET_TRAILER_LEN)
     } else {
         bytes.len()
     };
     if end <= start {
-        return Vec::new();
+        return;
     }
-    bytes[start..end]
-        .chunks_exact(4)
-        .map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]]))
-        .collect()
+    out.extend(
+        bytes[start..end]
+            .chunks_exact(4)
+            .map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]])),
+    );
 }
 
 /// Majority vote over body words: `(word, count)` of the most frequent word.
@@ -124,6 +136,21 @@ pub fn majority_word(words: &[u32]) -> Option<(u32, usize)> {
 
 /// Scores one logged packet against the expected series.
 pub fn evaluate(bytes: &[u8], expected: &ExpectedSeries) -> MatchEvidence {
+    let mut words = Vec::new();
+    evaluate_in(bytes, full_wire_len(), expected, &mut words)
+}
+
+/// [`evaluate`] with the packet's intended on-air length and a caller-owned
+/// word buffer — the allocation-free form the streaming classifier uses. On
+/// return `words` holds the packet's body words (what
+/// [`body_words_into`] produced), so callers can reuse them for the body
+/// syndrome without re-extracting.
+pub fn evaluate_in(
+    bytes: &[u8],
+    wire_len: usize,
+    expected: &ExpectedSeries,
+    words: &mut Vec<u32>,
+) -> MatchEvidence {
     let mut score = 0;
 
     // Network ID (weak: only 16 bits, and foreign WaveLANs may share it).
@@ -168,14 +195,16 @@ pub fn evaluate(bytes: &[u8], expected: &ExpectedSeries) -> MatchEvidence {
         }
     }
 
-    // Exact test-packet length.
+    // Exact test-packet length. Deliberately the *known* test-packet length,
+    // not `wire_len`: the modem framing announces every frame's length, so
+    // "matches its own announced length" would be evidence of nothing.
     if bytes.len() == full_wire_len() {
         score += 2;
     }
 
     // The repeated-word body.
-    let words = body_words(bytes);
-    let maj = majority_word(&words);
+    body_words_into(bytes, wire_len, words);
+    let maj = majority_word(words);
     let (majority, agreeing) = match maj {
         Some((w, c)) => (Some(w), c),
         None => (None, 0),

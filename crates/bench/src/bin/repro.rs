@@ -4,6 +4,10 @@
 //! repro [--scale smoke|reduced|paper] [--seed N] [--jobs N]
 //!       [--format text|json] [--timing-json PATH] [--serve-bench PATH]
 //!       [--list] [artifact ...]
+//! repro <artifact> --trace-out FILE [--scale S] [--seed N] [--format F]
+//! repro <artifact> --capture-bench PATH [--scale S] [--seed N] [--jobs N]
+//! repro reanalyze FILE [--format text|json]
+//! repro trace-info FILE
 //! repro --scenario NAME [--scale S] [--seed N] [--jobs N] [--format F]
 //! repro --validate [--seeds N] [--scale smoke|reduced|paper] [--seed N]
 //!       [--jobs N] [--format text|json]
@@ -37,6 +41,17 @@
 //! means every require held, 1 means at least one failed, 2 means the name
 //! is unknown (the error lists the valid names; `--scenario list` prints
 //! them without running anything).
+//!
+//! `--trace-out FILE` (one artifact only) runs the artifact's canonical
+//! scenario through the **streaming** capture pipeline, tees every receiver
+//! trace record into a self-describing columnar trace file (the WLTC format
+//! — see `wavelan-analysis::tracecodec`), and prints the capture report.
+//! `reanalyze FILE` re-runs the paper's classifier over such a file offline
+//! — no simulator involved — and reproduces the originating run's report
+//! byte-for-byte (the CI gate `cmp`s the two). `trace-info FILE` prints the
+//! file's header and stream skeleton without re-analyzing. `--capture-bench
+//! PATH` times the buffered vs streamed capture paths for one artifact and
+//! writes the comparison as JSON (the BENCH_PR9 numbers).
 //!
 //! `--validate` runs the paper-fidelity harness (`wavelan-validate`)
 //! instead of regenerating artifacts: every expectation for Tables 2–14
@@ -91,6 +106,10 @@ const USAGE: &str = "\
 usage: repro [--scale smoke|reduced|paper] [--seed N] [--jobs N]
              [--format text|json] [--timing-json PATH] [--serve-bench PATH]
              [--list] [artifact ...]
+       repro <artifact> --trace-out FILE [--scale S] [--seed N] [--format F]
+       repro <artifact> --capture-bench PATH [--scale S] [--seed N] [--jobs N]
+       repro reanalyze FILE [--format text|json]
+       repro trace-info FILE
        repro --scenario NAME [--scale S] [--seed N] [--jobs N] [--format F]
        repro --validate [--seeds N] [--scale S] [--seed N] [--jobs N] [--format F]
        repro sweep --space NAME|PATH [--points N] [--scale S] [--seed N]
@@ -234,6 +253,12 @@ fn main() {
     if args.first().map(String::as_str) == Some("sweep") {
         sweep_main(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("reanalyze") {
+        reanalyze_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("trace-info") {
+        trace_info_main(&args[1..]);
+    }
     let mut scale = Scale::Reduced;
     let mut seed = 1996u64;
     let mut jobs = 0usize;
@@ -244,6 +269,8 @@ fn main() {
     let mut seeds = 3u64;
     let mut timing_json_path: Option<String> = None;
     let mut serve_bench_path: Option<String> = None;
+    let mut trace_out_path: Option<String> = None;
+    let mut capture_bench_path: Option<String> = None;
     let mut artifacts: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -332,6 +359,20 @@ fn main() {
                         .unwrap_or_else(|| usage_error("--serve-bench needs a path")),
                 )
             }
+            "--trace-out" => {
+                trace_out_path = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| usage_error("--trace-out needs a path")),
+                )
+            }
+            "--capture-bench" => {
+                capture_bench_path = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| usage_error("--capture-bench needs a path")),
+                )
+            }
             "--help" | "-h" => {
                 println!(
                     "{USAGE}\n\
@@ -399,6 +440,19 @@ fn main() {
     if unknown {
         eprintln!("valid artifacts: {}", ARTIFACTS.join(" "));
         std::process::exit(2);
+    }
+
+    if let Some(path) = trace_out_path {
+        if artifacts.len() != 1 {
+            usage_error("--trace-out captures exactly one artifact (name it explicitly)");
+        }
+        run_trace_export(&artifacts[0], &path, scale, seed, format);
+    }
+    if let Some(path) = capture_bench_path {
+        if artifacts.len() != 1 {
+            usage_error("--capture-bench times exactly one artifact (name it explicitly)");
+        }
+        run_capture_bench(&artifacts[0], &path, scale, seed, jobs);
     }
 
     let exec = Executor::new(jobs);
@@ -681,6 +735,177 @@ fn run_scenario(name: &str, scale: Scale, seed: u64, jobs: usize, format: Format
         Format::Json => print!("{}", to_string_pretty(&run.report)),
     }
     std::process::exit(i32::from(!run.passed()));
+}
+
+/// `<artifact> --trace-out FILE`: run the streaming capture pipeline,
+/// teeing every receiver record into a columnar trace file, and print the
+/// capture report — the report `reanalyze` must reproduce byte-for-byte.
+fn run_trace_export(artifact: &str, path: &str, scale: Scale, seed: u64, format: Format) -> ! {
+    let entry = registry::find(artifact).expect("validated by caller");
+    let file = std::fs::File::create(path).unwrap_or_else(|e| {
+        eprintln!("cannot create {path}: {e}");
+        std::process::exit(2);
+    });
+    let start = Instant::now();
+    let report = wavelan_core::export_trace(entry, scale, seed, std::io::BufWriter::new(file))
+        .unwrap_or_else(|e| {
+            eprintln!("trace export failed: {e}");
+            std::process::exit(1);
+        });
+    // Timing to stderr only: stdout is the report `reanalyze` is compared
+    // against, so it must carry no wall-clock noise.
+    eprintln!(
+        "[trace {artifact}: {:.2}s, {} packets, written to {path}]",
+        start.elapsed().as_secs_f64(),
+        report.packets
+    );
+    match format {
+        Format::Text => print!("{}", report.render()),
+        Format::Json => print!("{}", to_string_pretty(&report)),
+    }
+    std::process::exit(0);
+}
+
+/// `reanalyze FILE`: re-run the paper's classifier over an exported trace,
+/// offline, and print the reconstructed report. Exit 0 on success, 1 on a
+/// decode/conformance error, 2 on usage errors.
+fn reanalyze_main(args: &[String]) -> ! {
+    let mut format = Format::Text;
+    let mut path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => {
+                format = match it.next().map(String::as_str) {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    other => usage_error(&format!("unknown format {other:?} (text or json)")),
+                }
+            }
+            flag if flag.starts_with('-') => {
+                usage_error(&format!("unknown reanalyze flag {flag}"))
+            }
+            file if path.is_none() => path = Some(file.to_string()),
+            _ => usage_error("reanalyze takes exactly one trace file"),
+        }
+    }
+    let Some(path) = path else {
+        usage_error("reanalyze needs a trace file path");
+    };
+    let file = std::fs::File::open(&path).unwrap_or_else(|e| {
+        eprintln!("cannot open {path}: {e}");
+        std::process::exit(2);
+    });
+    let start = Instant::now();
+    let report = wavelan_core::reanalyze_file(std::io::BufReader::new(file)).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(1);
+    });
+    // Timing to stderr only: stdout must be byte-identical to the live run.
+    eprintln!("[reanalyze {path}: {:.2}s]", start.elapsed().as_secs_f64());
+    match format {
+        Format::Text => print!("{}", report.render()),
+        Format::Json => print!("{}", to_string_pretty(&report)),
+    }
+    std::process::exit(0);
+}
+
+/// `trace-info FILE`: print a trace file's header and stream skeleton
+/// (pinned by the golden header snapshot). Exit 0 on success, 1 on decode
+/// errors, 2 on usage errors.
+fn trace_info_main(args: &[String]) -> ! {
+    let [path] = args else {
+        usage_error("trace-info takes exactly one trace file");
+    };
+    let file = std::fs::File::open(path).unwrap_or_else(|e| {
+        eprintln!("cannot open {path}: {e}");
+        std::process::exit(2);
+    });
+    match wavelan_core::trace_info(std::io::BufReader::new(file)) {
+        Ok(info) => {
+            print!("{info}");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Buffered-vs-streamed capture throughput for one artifact, as JSON
+/// (`--capture-bench` — the BENCH_PR9 numbers).
+struct CaptureBench {
+    artifact: String,
+    scale: &'static str,
+    seed: u64,
+    jobs: usize,
+    packets: u64,
+    buffered_seconds: f64,
+    streamed_seconds: f64,
+    buffered_pkt_per_sec: f64,
+    streamed_pkt_per_sec: f64,
+    /// `buffered_seconds / streamed_seconds` — above 1.0 means streaming
+    /// is faster.
+    streamed_speedup: f64,
+}
+
+impl Serialize for CaptureBench {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("CaptureBench", 10)?;
+        s.serialize_field("artifact", &self.artifact)?;
+        s.serialize_field("scale", &self.scale)?;
+        s.serialize_field("seed", &self.seed)?;
+        s.serialize_field("jobs", &self.jobs)?;
+        s.serialize_field("packets", &self.packets)?;
+        s.serialize_field("buffered_seconds", &self.buffered_seconds)?;
+        s.serialize_field("streamed_seconds", &self.streamed_seconds)?;
+        s.serialize_field("buffered_pkt_per_sec", &self.buffered_pkt_per_sec)?;
+        s.serialize_field("streamed_pkt_per_sec", &self.streamed_pkt_per_sec)?;
+        s.serialize_field("streamed_speedup", &self.streamed_speedup)?;
+        s.end()
+    }
+}
+
+/// `<artifact> --capture-bench PATH`: time the buffered and streamed
+/// capture paths (same trials, same seeds), assert their reports agree, and
+/// write the comparison as JSON.
+fn run_capture_bench(artifact: &str, path: &str, scale: Scale, seed: u64, jobs: usize) -> ! {
+    use wavelan_core::{capture_report, CaptureMode};
+    let entry = registry::find(artifact).expect("validated by caller");
+    let exec = Executor::new(jobs);
+    eprintln!("[executor: {} worker(s)]", exec.jobs());
+    let time = |mode: CaptureMode| {
+        let start = Instant::now();
+        let report = capture_report(entry, scale, seed, &exec, mode);
+        (start.elapsed().as_secs_f64(), report)
+    };
+    let (buffered_seconds, buffered) = time(CaptureMode::Buffered);
+    let (streamed_seconds, streamed) = time(CaptureMode::Streamed);
+    if buffered.render() != streamed.render() {
+        eprintln!("capture paths disagree: buffered and streamed reports differ");
+        std::process::exit(1);
+    }
+    let packets = buffered.packets;
+    let bench = CaptureBench {
+        artifact: artifact.to_string(),
+        scale: scale.name(),
+        seed,
+        jobs: exec.jobs(),
+        packets,
+        buffered_seconds,
+        streamed_seconds,
+        buffered_pkt_per_sec: packets as f64 / buffered_seconds.max(1e-9),
+        streamed_pkt_per_sec: packets as f64 / streamed_seconds.max(1e-9),
+        streamed_speedup: buffered_seconds / streamed_seconds.max(1e-9),
+    };
+    eprintln!(
+        "[capture {artifact}: buffered {:.3}s, streamed {:.3}s, {:.2}x]",
+        buffered_seconds, streamed_seconds, bench.streamed_speedup
+    );
+    write_json_or_die(path, &to_string_pretty(&bench));
+    eprintln!("[capture benchmark written to {path}]");
+    std::process::exit(0);
 }
 
 /// Writes a JSON document or exits 2 with the I/O error.

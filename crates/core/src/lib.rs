@@ -45,6 +45,7 @@
 //! MAC/capture conformance suite and of `repro --scenario`.
 
 pub mod calibration;
+pub mod capture;
 pub mod executor;
 pub mod experiments;
 pub mod layouts;
@@ -53,6 +54,10 @@ pub mod scenario;
 pub mod spec;
 pub mod sweep;
 
+pub use capture::{
+    capture_report, export_trace, reanalyze_file, spec_hash, trace_info, CaptureMode,
+    ReanalyzeError,
+};
 pub use executor::{trial_seed, Executor, TrialPanic};
 pub use experiments::common::Scale;
 pub use registry::{find, Experiment, NAMES, REGISTRY};

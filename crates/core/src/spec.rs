@@ -20,7 +20,7 @@ use crate::experiments::common::{expected_series, test_receiver, test_sender, Sc
 use serde::{Serialize, SerializeStruct, Serializer};
 use wavelan_analysis::json::{self, Value};
 use wavelan_analysis::{analyze, PacketClass};
-use wavelan_mac::network_id::{NetworkId, NETWORK_ID_LEN};
+use wavelan_mac::network_id::NetworkId;
 use wavelan_mac::Thresholds;
 use wavelan_net::testpkt::Endpoint;
 use wavelan_phy::interference::DutyCycle;
@@ -569,21 +569,21 @@ impl ScenarioSpec {
         let trace = result.traces[rx].as_ref().expect("receiver records");
         let analysis = analyze(trace, &expected_series());
         let received = analysis.test_packets().count() as u64;
-        // The measured sender's frame shape decides how truncation and body
-        // damage are judged: standard test frames carry the repeated-word
-        // body the analysis classifier understands; sized frames
-        // ([`FrameKind::Sized`]) have a different layout and length, so
-        // their classification compares each record against the *spec's*
-        // wire length instead (body damage is not observable there — the
-        // sized body carries no redundancy).
+        // The measured sender's frame shape decides how body damage is
+        // judged: standard test frames carry the repeated-word body the
+        // analysis classifier understands; sized frames
+        // ([`FrameKind::Sized`]) carry no redundancy, so body damage is not
+        // observable there. Truncation needs no special case either way —
+        // the classifier compares each record against its own announced
+        // wire length.
         let frame_bytes = self
             .stations
             .iter()
             .find(|s| s.role == Role::Sender)
             .map_or(0, |s| s.frame_bytes);
-        let (truncated, undamaged, body_bits_damaged) = if frame_bytes == 0 {
+        let truncated = analysis.count(PacketClass::Truncated) as u64;
+        let (undamaged, body_bits_damaged) = if frame_bytes == 0 {
             (
-                analysis.count(PacketClass::Truncated) as u64,
                 analysis.count(PacketClass::Undamaged) as u64,
                 analysis
                     .test_packets()
@@ -591,15 +591,7 @@ impl ScenarioSpec {
                     .sum(),
             )
         } else {
-            let wire = NETWORK_ID_LEN
-                + wavelan_net::ETHERNET_HEADER_LEN
-                + usize::from(frame_bytes.max(46))
-                + wavelan_net::ETHERNET_TRAILER_LEN;
-            let truncated = analysis
-                .test_packets()
-                .filter(|p| trace.records[p.index].bytes.len() < wire)
-                .count() as u64;
-            (truncated, received - truncated, 0)
+            (received - truncated, 0)
         };
         let pct = |n: u64| {
             if received == 0 {

@@ -357,7 +357,7 @@ fn unit(seed: u64) -> f64 {
 }
 
 /// FNV-1a 64-bit.
-fn fnv64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         h ^= u64::from(b);

@@ -126,6 +126,28 @@ impl EthernetFrame {
             fcs_ok,
         })
     }
+
+    /// Verifies the trailing FCS without materializing the frame (no payload
+    /// copy — usable from allocation-free streaming folds). Same acceptance
+    /// rule as [`EthernetFrame::parse`]: only an outright short buffer is an
+    /// error; the FCS verdict itself is the `Ok` value.
+    pub fn check_fcs(bytes: &[u8]) -> Result<bool, ParseError> {
+        let min = ETHERNET_HEADER_LEN + ETHERNET_TRAILER_LEN;
+        if bytes.len() < min {
+            return Err(ParseError::Truncated {
+                needed: min,
+                got: bytes.len(),
+            });
+        }
+        let body_end = bytes.len() - ETHERNET_TRAILER_LEN;
+        let wire_fcs = u32::from_le_bytes([
+            bytes[body_end],
+            bytes[body_end + 1],
+            bytes[body_end + 2],
+            bytes[body_end + 3],
+        ]);
+        Ok(crc32(&bytes[..body_end]) == wire_fcs)
+    }
 }
 
 #[cfg(test)]
@@ -191,6 +213,19 @@ mod tests {
     fn too_short_is_error() {
         let err = EthernetFrame::parse(&[0u8; 10]).unwrap_err();
         assert!(matches!(err, ParseError::Truncated { .. }));
+    }
+
+    #[test]
+    fn check_fcs_agrees_with_parse() {
+        let (dst, src, payload) = sample();
+        let mut wire = EthernetFrame::build(dst, src, EtherType::Ipv4, &payload);
+        assert_eq!(EthernetFrame::check_fcs(&wire), Ok(true));
+        wire[20] ^= 0x40;
+        assert_eq!(EthernetFrame::check_fcs(&wire), Ok(false));
+        assert!(matches!(
+            EthernetFrame::check_fcs(&wire[..10]),
+            Err(ParseError::Truncated { .. })
+        ));
     }
 
     #[test]

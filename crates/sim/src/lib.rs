@@ -50,4 +50,4 @@ pub use runner::{
     TrialResult,
 };
 pub use station::{Station, StationConfig, StationId};
-pub use trace::{Trace, TraceRecord};
+pub use trace::{BufferSink, RecordView, Tee, Trace, TraceRecord, TraceSink};

@@ -7,7 +7,7 @@ use crate::geometry::Point;
 use crate::medium::{bits_to_ns, AmbientSource, Medium, Transmission};
 use crate::propagation::Propagation;
 use crate::station::{FrameKind, RxReservation, Station, StationConfig, StationId, Traffic};
-use crate::trace::{GroundTruth, Trace, TraceRecord};
+use crate::trace::{BufferSink, GroundTruth, RecordView, Trace, TraceSink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use wavelan_mac::csma::{MacStats, TxAction};
@@ -127,6 +127,10 @@ pub struct SimScratch {
     pub rx: RxScratch,
     /// Emission assembly buffer reused across packet resolutions.
     emissions: Vec<Emission>,
+    /// Delivered-bytes assembly buffer for trace records: each record's
+    /// corrupted bytes are built here and lent to the sink as a
+    /// [`RecordView`], so streaming capture allocates nothing per packet.
+    record_bytes: Vec<u8>,
 }
 
 impl SimScratch {
@@ -304,6 +308,8 @@ struct Runner<'s> {
     overlap_count: u64,
     /// Reusable buffers (caller-owned so they survive across trials).
     scratch: &'s mut SimScratch,
+    /// Where trace records go as they are resolved (buffered or streaming).
+    sink: &'s mut dyn TraceSink,
 }
 
 impl Scenario {
@@ -367,6 +373,25 @@ impl Scenario {
         self.run_inner(usize::MAX, u64::MAX, limit_ns, directives, scratch)
     }
 
+    /// Runs a trial **streaming**: every trace record is pushed through
+    /// `sink` as it is resolved, in arrival order, and nothing is buffered —
+    /// the returned result's `traces` are all `None` (counters and MAC stats
+    /// are filled in as usual). With a [`BufferSink`] this is bit-identical
+    /// to [`Scenario::run_in`]; with a folding sink it runs in constant
+    /// memory regardless of trial length.
+    pub fn run_streamed(
+        &self,
+        primary: StationId,
+        n_packets: u64,
+        scratch: &mut SimScratch,
+        sink: &mut dyn TraceSink,
+    ) -> TrialResult {
+        self.run_sunk(primary, n_packets, 3_600_000_000_000, &[], scratch, sink)
+    }
+
+    /// The buffered trial: a [`BufferSink`] collects every record and the
+    /// per-station [`Trace`]s land back on the result, exactly the classic
+    /// whole-log capture.
     fn run_inner(
         &self,
         primary: StationId,
@@ -374,6 +399,26 @@ impl Scenario {
         limit_ns: u64,
         directives: &[Directive],
         scratch: &mut SimScratch,
+    ) -> TrialResult {
+        let mut sink = BufferSink::new(self.stations.iter().map(|s| s.record_trace));
+        let mut result = self.run_sunk(primary, n_packets, limit_ns, directives, scratch, &mut sink);
+        result.traces = sink.into_traces();
+        for (trace, &dropped) in result.traces.iter_mut().zip(&result.packets_dropped_by_mac) {
+            if let Some(trace) = trace {
+                trace.packets_dropped_by_mac = dropped;
+            }
+        }
+        result
+    }
+
+    fn run_sunk(
+        &self,
+        primary: StationId,
+        n_packets: u64,
+        limit_ns: u64,
+        directives: &[Directive],
+        scratch: &mut SimScratch,
+        sink: &mut dyn TraceSink,
     ) -> TrialResult {
         let mut runner = Runner {
             scenario: self,
@@ -389,6 +434,7 @@ impl Scenario {
             snapshots: Vec::new(),
             overlap_count: 0,
             scratch,
+            sink,
         };
         // Directives enter the queue first so a directive at time t fires
         // before same-time traffic scheduled below (insertion order breaks
@@ -450,16 +496,9 @@ impl Scenario {
             captures_made: runner.stations.iter().map(|s| s.captures_made).collect(),
             overlap_count: runner.overlap_count,
             snapshots: runner.snapshots,
-            traces: runner
-                .stations
-                .into_iter()
-                .map(|mut s| {
-                    if let Some(trace) = s.trace.as_mut() {
-                        trace.packets_dropped_by_mac = s.packets_dropped_by_mac;
-                    }
-                    s.trace
-                })
-                .collect(),
+            // The sink owns the records; the buffered wrapper re-attaches
+            // them, streamed runs leave every slot `None`.
+            traces: runner.stations.iter().map(|_| None).collect(),
             ended_at_ns: now,
         }
     }
@@ -517,7 +556,11 @@ impl Runner<'_> {
                         dropped_by_mac: s.packets_dropped_by_mac,
                         filtered: s.packets_filtered,
                         mac: s.mac.stats(),
-                        trace_len: s.trace.as_ref().map_or(usize::MAX, Trace::len),
+                        trace_len: if s.config.record_trace {
+                            s.records_logged as usize
+                        } else {
+                            usize::MAX
+                        },
                     })
                     .collect();
                 self.snapshots.push(SnapshotData {
@@ -857,9 +900,12 @@ impl Runner<'_> {
             station.packets_truncated_rx += 1;
         }
 
-        if let Some(trace) = station.trace.as_mut() {
+        if station.config.record_trace {
+            station.records_logged += 1;
             let delivered_bits = reception.delivered_bits(len_bits);
-            let mut bytes = tx.wire[..(delivered_bits / 8) as usize].to_vec();
+            let bytes = &mut self.scratch.record_bytes;
+            bytes.clear();
+            bytes.extend_from_slice(&tx.wire[..(delivered_bits / 8) as usize]);
             for &bit in &reception.error_bits {
                 let byte = (bit / 8) as usize;
                 if byte < bytes.len() {
@@ -871,9 +917,10 @@ impl Runner<'_> {
                 .iter()
                 .filter(|&&b| b / 8 < bytes.len() as u64)
                 .count() as u32;
-            trace.push(TraceRecord {
+            let view = RecordView {
                 time_ns: tx.start_ns,
-                bytes,
+                bytes: &self.scratch.record_bytes,
+                wire_len: tx.wire.len() as u32,
                 level: reception.metrics.level.value(),
                 silence: reception.metrics.silence.value(),
                 quality: reception.metrics.quality,
@@ -884,7 +931,8 @@ impl Runner<'_> {
                     corrupted_bits,
                     truncated: reception.truncated_at_bit.is_some(),
                 }),
-            });
+            };
+            self.sink.record(r, &view);
         }
         // Return the error-position buffer to the pool: the trace keeps only
         // derived data, so the Vec's capacity can serve the next packet.

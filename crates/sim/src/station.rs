@@ -2,7 +2,6 @@
 //! generator, and trace capture.
 
 use crate::geometry::Point;
-use crate::trace::Trace;
 use std::collections::HashMap;
 use wavelan_mac::csma::{CsmaCa, MacConfig};
 use wavelan_mac::network_id::NetworkId;
@@ -188,14 +187,15 @@ pub struct Station {
     /// Scripted frames waiting behind the pending one (only used by
     /// [`Traffic::Scripted`] stations).
     pub backlog: u64,
-    /// The promiscuous log, if this station records one.
-    pub trace: Option<Trace>,
+    /// Trace records this station has emitted to the run's
+    /// [`crate::trace::TraceSink`] (only advances when
+    /// [`StationConfig::record_trace`] is set; the sink owns the storage).
+    pub records_logged: u64,
 }
 
 impl Station {
     /// Initializes runtime state from a configuration.
     pub fn new(config: StationConfig) -> Station {
-        let trace = config.record_trace.then(Trace::default);
         Station {
             mac: CsmaCa::new(config.mac),
             config,
@@ -212,7 +212,7 @@ impl Station {
             packets_truncated_rx: 0,
             captures_made: 0,
             backlog: 0,
-            trace,
+            records_logged: 0,
         }
     }
 
@@ -237,7 +237,8 @@ mod tests {
             Endpoint::station(1),
             Point::new(0.0, 0.0),
         ));
-        assert!(s.trace.is_some());
+        assert!(s.config.record_trace);
+        assert_eq!(s.records_logged, 0);
         assert_eq!(s.peer(), None);
     }
 
@@ -253,7 +254,7 @@ mod tests {
             Traffic::Periodic { interval_ns, .. } => assert_eq!(interval_ns, 6_100_000),
             other => panic!("{other:?}"),
         }
-        assert!(s.trace.is_none());
+        assert!(!s.config.record_trace);
     }
 
     #[test]

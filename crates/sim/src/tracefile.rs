@@ -18,8 +18,12 @@
 //!   u64 time_ns | u8 level | u8 silence | u8 quality | u8 antenna
 //!   u8 truth_tag (0 = none, 1 = present)
 //!   if present: u32 src_station | u8 seq_tag | u32 seq | u32 corrupted_bits | u8 truncated
-//!   u32 byte_len | bytes
+//!   u32 wire_len | u32 byte_len | bytes
 //! ```
+//!
+//! Version history: v1 had no `wire_len` field; v2 added it (the intended
+//! on-air length the modem framing announced, so truncated deliveries keep
+//! their original length). Old versions are rejected, not migrated.
 
 use crate::trace::{GroundTruth, Trace, TraceRecord};
 use std::io::{self, Read, Write};
@@ -27,7 +31,7 @@ use std::io::{self, Read, Write};
 /// File magic.
 pub const MAGIC: &[u8; 4] = b"WLTR";
 /// Current format version.
-pub const VERSION: u8 = 1;
+pub const VERSION: u8 = 2;
 
 /// Errors from reading a trace file.
 #[derive(Debug)]
@@ -86,6 +90,7 @@ pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
                 w.write_all(&[u8::from(t.truncated)])?;
             }
         }
+        w.write_all(&r.wire_len.to_le_bytes())?;
         w.write_all(&(r.bytes.len() as u32).to_le_bytes())?;
         w.write_all(&r.bytes)?;
     }
@@ -138,8 +143,9 @@ pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, TraceFileError> {
             }
             _ => return Err(TraceFileError::Corrupt("invalid truth tag")),
         };
+        let wire_len = u32::from_le_bytes(read_exact::<_, 4>(&mut r)?);
         let byte_len = u32::from_le_bytes(read_exact::<_, 4>(&mut r)?);
-        if byte_len > MAX_RECORD_BYTES {
+        if wire_len > MAX_RECORD_BYTES || byte_len > MAX_RECORD_BYTES {
             return Err(TraceFileError::Corrupt("record length exceeds sanity cap"));
         }
         let mut bytes = vec![0u8; byte_len as usize];
@@ -148,6 +154,7 @@ pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, TraceFileError> {
         records.push(TraceRecord {
             time_ns,
             bytes,
+            wire_len,
             level,
             silence,
             quality,
@@ -187,6 +194,7 @@ mod tests {
         t.push(TraceRecord {
             time_ns: 1_000_000,
             bytes: vec![0xCA, 0xFE, 1, 2, 3, 4],
+            wire_len: 6,
             level: 29,
             silence: 3,
             quality: 15,
@@ -201,6 +209,7 @@ mod tests {
         t.push(TraceRecord {
             time_ns: 7_100_000,
             bytes: vec![0xCA, 0xFE, 9],
+            wire_len: 1075,
             level: 7,
             silence: 24,
             quality: 4,
@@ -215,6 +224,7 @@ mod tests {
         t.push(TraceRecord {
             time_ns: 9_000_000,
             bytes: vec![],
+            wire_len: 0,
             level: 0,
             silence: 0,
             quality: 1,
@@ -281,6 +291,7 @@ mod tests {
         t.push(TraceRecord {
             time_ns: 0,
             bytes: vec![1, 2, 3],
+            wire_len: 3,
             level: 1,
             silence: 1,
             quality: 1,

@@ -12,6 +12,7 @@ fn record_strategy() -> impl Strategy<Value = TraceRecord> {
     (
         any::<u64>(),
         proptest::collection::vec(any::<u8>(), 0..300),
+        0u32..=2000,
         any::<u8>(),
         any::<u8>(),
         1u8..=15,
@@ -24,9 +25,10 @@ fn record_strategy() -> impl Strategy<Value = TraceRecord> {
         )),
     )
         .prop_map(
-            |(time_ns, bytes, level, silence, quality, antenna, truth)| TraceRecord {
+            |(time_ns, bytes, wire_len, level, silence, quality, antenna, truth)| TraceRecord {
                 time_ns,
                 bytes,
+                wire_len,
                 level,
                 silence,
                 quality,
