@@ -72,11 +72,26 @@ cargo run --release -p wavelan-bench --bin repro -- --check-json BENCH_PR9.json
 cargo run --release -p wavelan-bench --bin repro -- --validate --scale smoke --format json > FIDELITY.json
 cargo run --release -p wavelan-bench --bin repro -- --check-json FIDELITY.json
 
-# Serve-latency gate: cold-vs-cached /run through an in-process daemon.
-# The run aborts if the cached response's bytes differ from the cold ones;
-# the resulting speedup lands in BENCH_PR5.json next to the timing fields.
-cargo run --release -p wavelan-bench --bin repro -- --scale smoke --serve-bench BENCH_PR5.json
-cargo run --release -p wavelan-bench --bin repro -- --check-json BENCH_PR5.json
+# Store/serve conformance: the wavelan-store unit + corruption property
+# suite (WLST round-trip, truncation, single-byte damage, version skew),
+# the serve crate's HTTP/keep-alive/ring unit tests, and the repro CLI
+# exit-code contract.
+cargo test -q -p wavelan-store
+cargo test -q -p wavelan-serve
+cargo test -q -p wavelan-bench --test cli
+
+# Serve-latency gate: cold-vs-cached /run plus the closed-loop load
+# harness (uncapped keep-alive burst for the ceiling, paced steps at
+# fractions of it, p50/p95/p99 per step, saturation search) through an
+# in-process daemon. The run aborts if the cached response's bytes differ
+# from the cold ones; the profile lands in BENCH_SERVE.json.
+cargo run --release -p wavelan-bench --bin repro -- tdma --scale smoke --serve-bench BENCH_SERVE.json
+cargo run --release -p wavelan-bench --bin repro -- --check-json BENCH_SERVE.json
+SAT=$(tr ',' '\n' < BENCH_SERVE.json | grep '"saturation_qps"' | tr -dc '0-9.')
+awk -v v="$SAT" 'BEGIN { exit !(v > 0) }' || {
+    echo "serve load harness found no sustainable throughput" >&2
+    exit 1
+}
 
 # FEC hot-path gate: regenerate the decode-heavy artifacts' throughput and
 # fail if either regresses below 10x the PR5-era baseline (fec 1,079.6 and
@@ -126,3 +141,82 @@ cmp "$OUT/SERVE_SWEEP.json" "$OUT/SWEEP_SMOKE.json"
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"
 rm -f "$ADDR_FILE"
+
+# Store-tier smoke: restart survival. Compute one off-default key (seed 7
+# is not warmed at startup, so the warm daemon cannot answer from L1)
+# through a daemon with a persistent store, kill the daemon, restart it
+# against the same directory, and require the re-served bytes to come from
+# the disk tier (l2_hits moves — no recompute) and to match both the cold
+# response and the CLI byte-for-byte.
+STORE_DIR=$(mktemp -d)
+ADDR_FILE=$(mktemp)
+"$REPRO" serve --addr 127.0.0.1:0 --addr-file "$ADDR_FILE" --workers 2 --store "$STORE_DIR" &
+SERVE_PID=$!
+ADDR=
+for _ in $(seq 1 100); do
+    ADDR=$(cat "$ADDR_FILE" 2>/dev/null || true)
+    if [ -n "$ADDR" ] && "$REPRO" --http-get "http://$ADDR/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.1
+done
+test -n "$ADDR"
+"$REPRO" --http-get "http://$ADDR/run/tdma?seed=7&scale=smoke" > "$OUT/STORE_COLD.json"
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+rm -f "$ADDR_FILE"
+ADDR_FILE=$(mktemp)
+"$REPRO" serve --addr 127.0.0.1:0 --addr-file "$ADDR_FILE" --workers 2 --store "$STORE_DIR" &
+SERVE_PID=$!
+ADDR=
+for _ in $(seq 1 100); do
+    ADDR=$(cat "$ADDR_FILE" 2>/dev/null || true)
+    if [ -n "$ADDR" ] && "$REPRO" --http-get "http://$ADDR/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.1
+done
+test -n "$ADDR"
+"$REPRO" --http-get "http://$ADDR/run/tdma?seed=7&scale=smoke" > "$OUT/STORE_WARM.json"
+"$REPRO" --http-get "http://$ADDR/metrics" > "$OUT/STORE_METRICS.json"
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+rm -f "$ADDR_FILE"
+cmp "$OUT/STORE_COLD.json" "$OUT/STORE_WARM.json"
+"$REPRO" --scale smoke --seed 7 --format json tdma > "$OUT/STORE_CLI.json"
+cmp "$OUT/STORE_WARM.json" "$OUT/STORE_CLI.json"
+L2_HITS=$(tr ',' '\n' < "$OUT/STORE_METRICS.json" | grep '"l2_hits"' | tr -dc '0-9')
+test "$L2_HITS" -ge 1
+rm -rf "$STORE_DIR"
+
+# Ring smoke: two real daemons consistent-hash the key space. Every
+# registry artifact must come back byte-identical to the CLI no matter
+# which node takes the request, and at least one request must have been
+# proxied between the peers.
+NODE_A=127.0.0.1:18961
+NODE_B=127.0.0.1:18962
+"$REPRO" serve --addr "$NODE_A" --peers "$NODE_A,$NODE_B" --workers 2 &
+PID_A=$!
+"$REPRO" serve --addr "$NODE_B" --peers "$NODE_A,$NODE_B" --workers 2 &
+PID_B=$!
+for node in "$NODE_A" "$NODE_B"; do
+    for _ in $(seq 1 100); do
+        if "$REPRO" --http-get "http://$node/healthz" >/dev/null 2>&1; then
+            break
+        fi
+        sleep 0.1
+    done
+    "$REPRO" --http-get "http://$node/healthz" >/dev/null
+done
+for artifact in $("$REPRO" --list | awk '/^artifacts/{f=1;next} /^ *$/{f=0} f{print $1}'); do
+    "$REPRO" --scale smoke --seed 1996 --format json "$artifact" > "$OUT/RING_CLI.json"
+    "$REPRO" --http-get "http://$NODE_A/run/$artifact?seed=1996&scale=smoke" > "$OUT/RING_A.json"
+    "$REPRO" --http-get "http://$NODE_B/run/$artifact?seed=1996&scale=smoke" > "$OUT/RING_B.json"
+    cmp "$OUT/RING_A.json" "$OUT/RING_CLI.json"
+    cmp "$OUT/RING_B.json" "$OUT/RING_CLI.json"
+done
+PROXIED_A=$("$REPRO" --http-get "http://$NODE_A/metrics" | tr ',' '\n' | grep '"peer_proxied"' | tr -dc '0-9')
+PROXIED_B=$("$REPRO" --http-get "http://$NODE_B/metrics" | tr ',' '\n' | grep '"peer_proxied"' | tr -dc '0-9')
+test "$((PROXIED_A + PROXIED_B))" -ge 1
+kill -TERM "$PID_A" "$PID_B"
+wait "$PID_A" "$PID_B"

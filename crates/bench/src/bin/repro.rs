@@ -14,7 +14,8 @@
 //! repro sweep --space NAME|PATH [--points N] [--scale S] [--seed N]
 //!       [--jobs N] [--format text|json] [--timing-json PATH]
 //! repro serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
-//!       [--timeout-ms N] [--jobs N] [--addr-file PATH]
+//!       [--timeout-ms N] [--jobs N] [--addr-file PATH] [--store DIR]
+//!       [--peers HOST:PORT,...]
 //! repro --http-get URL
 //! repro --check-json PATH
 //! ```
@@ -82,15 +83,25 @@
 //! `serve` starts the `wavelan-serve` daemon (see that crate's docs for
 //! the endpoints and status codes) and drains gracefully on
 //! SIGTERM/ctrl-c. `--addr-file PATH` writes the bound address — useful
-//! with `--addr 127.0.0.1:0`, where the kernel picks the port.
+//! with `--addr 127.0.0.1:0`, where the kernel picks the port. `--store
+//! DIR` attaches the persistent result tier: computed responses are
+//! written to `DIR` as content-addressed WLST entries, and a restarted
+//! daemon re-serves them byte-identically without recomputing. `--peers
+//! HOST:PORT,...` (requires an explicit `--addr` that appears in the list)
+//! joins a serving group: the nodes consistent-hash the key space and
+//! proxy misses to the owning node, so any node answers any request.
 //!
 //! `--http-get URL` is a minimal HTTP GET client (body to stdout, exit 0
 //! only on HTTP 200) so CI can poke the daemon without `curl`.
 //!
 //! `--serve-bench PATH` extends `--timing-json` with a serve-latency
-//! section: it boots an in-process daemon and measures a cold `/run`
+//! section: it boots an in-process daemon, measures a cold `/run`
 //! (simulates) versus a cached one (memory) for the first artifact of the
-//! run, recording the speedup the result cache delivers.
+//! run, then drives a closed-loop load harness over a keep-alive
+//! connection pool — an uncapped burst to find the ceiling, then paced
+//! steps at fractions of it, recording achieved QPS and p50/p95/p99
+//! latency per step and the saturation point (the highest target the
+//! daemon met within 90%). The BENCH_SERVE numbers.
 //!
 //! Unknown flags, unknown artifacts, and malformed values all exit 2 with
 //! a usage message.
@@ -115,7 +126,8 @@ usage: repro [--scale smoke|reduced|paper] [--seed N] [--jobs N]
        repro sweep --space NAME|PATH [--points N] [--scale S] [--seed N]
              [--jobs N] [--format text|json] [--timing-json PATH]
        repro serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
-             [--timeout-ms N] [--jobs N] [--addr-file PATH]
+             [--timeout-ms N] [--jobs N] [--addr-file PATH] [--store DIR]
+             [--peers HOST:PORT,...]
        repro --http-get URL
        repro --check-json PATH
 run `repro --list` for artifact names and `repro --help` for details";
@@ -184,8 +196,8 @@ impl Serialize for TimingDoc {
     }
 }
 
-/// Cold-vs-cached serve latency for one artifact, from an in-process
-/// daemon (`--serve-bench`).
+/// Cold-vs-cached serve latency plus the closed-loop load profile for
+/// one artifact, from an in-process daemon (`--serve-bench`).
 struct ServeBench {
     artifact: String,
     scale: &'static str,
@@ -196,11 +208,17 @@ struct ServeBench {
     speedup: f64,
     /// Response body length, identical cold and cached.
     body_bytes: usize,
+    /// Throughput of the uncapped warm burst — the harness ceiling.
+    max_qps: f64,
+    /// Paced closed-loop steps at fractions of `max_qps`.
+    load: Vec<LoadStep>,
+    /// Highest target QPS the daemon met within 90% (0 if none did).
+    saturation_qps: f64,
 }
 
 impl Serialize for ServeBench {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let mut s = serializer.serialize_struct("ServeBench", 7)?;
+        let mut s = serializer.serialize_struct("ServeBench", 10)?;
         s.serialize_field("artifact", &self.artifact)?;
         s.serialize_field("scale", &self.scale)?;
         s.serialize_field("seed", &self.seed)?;
@@ -208,6 +226,33 @@ impl Serialize for ServeBench {
         s.serialize_field("cached_seconds", &self.cached_seconds)?;
         s.serialize_field("speedup", &self.speedup)?;
         s.serialize_field("body_bytes", &self.body_bytes)?;
+        s.serialize_field("max_qps", &self.max_qps)?;
+        s.serialize_field("load", &self.load)?;
+        s.serialize_field("saturation_qps", &self.saturation_qps)?;
+        s.end()
+    }
+}
+
+/// One paced step of the closed-loop load harness: requests issued at
+/// `target_qps` over keep-alive connections, latencies recorded.
+struct LoadStep {
+    target_qps: f64,
+    achieved_qps: f64,
+    requests: usize,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+}
+
+impl Serialize for LoadStep {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("LoadStep", 6)?;
+        s.serialize_field("target_qps", &self.target_qps)?;
+        s.serialize_field("achieved_qps", &self.achieved_qps)?;
+        s.serialize_field("requests", &self.requests)?;
+        s.serialize_field("p50_us", &self.p50_us)?;
+        s.serialize_field("p95_us", &self.p95_us)?;
+        s.serialize_field("p99_us", &self.p99_us)?;
         s.end()
     }
 }
@@ -983,29 +1028,133 @@ fn bench_serve(artifact: &str, scale: Scale, seed: u64) -> Result<ServeBench, St
         }
         Ok((elapsed, response.body))
     };
-    let result = fetch("cold").and_then(|(cold_seconds, cold_body)| {
-        let (cached_seconds, cached_body) = fetch("cached")?;
-        if cold_body != cached_body {
-            return Err(String::from("cached body differs from cold body"));
-        }
-        Ok(ServeBench {
-            artifact: artifact.to_string(),
-            scale: scale.name(),
-            seed,
-            cold_seconds,
-            cached_seconds,
-            speedup: cold_seconds / cached_seconds.max(1e-9),
-            body_bytes: cold_body.len(),
+    let result = fetch("cold")
+        .and_then(|(cold_seconds, cold_body)| {
+            let (cached_seconds, cached_body) = fetch("cached")?;
+            if cold_body != cached_body {
+                return Err(String::from("cached body differs from cold body"));
+            }
+            Ok(ServeBench {
+                artifact: artifact.to_string(),
+                scale: scale.name(),
+                seed,
+                cold_seconds,
+                cached_seconds,
+                speedup: cold_seconds / cached_seconds.max(1e-9),
+                body_bytes: cold_body.len(),
+                max_qps: 0.0,
+                load: Vec::new(),
+                saturation_qps: 0.0,
+            })
         })
-    });
+        .and_then(|bench| run_load_harness(&addr, &path, bench));
     handle.request();
     let _ = daemon.join();
     let bench = result?;
     eprintln!(
-        "[serve: {artifact} cold {:.4}s, cached {:.6}s, {:.0}x]",
-        bench.cold_seconds, bench.cached_seconds, bench.speedup
+        "[serve: {artifact} cold {:.4}s, cached {:.6}s, {:.0}x; \
+         max {:.0} qps, saturation {:.0} qps]",
+        bench.cold_seconds, bench.cached_seconds, bench.speedup, bench.max_qps, bench.saturation_qps
     );
     Ok(bench)
+}
+
+/// The closed-loop section of `--serve-bench`: an uncapped warm burst
+/// over keep-alive connections finds the throughput ceiling, then paced
+/// steps at fractions of it record achieved QPS and latency percentiles.
+/// Saturation is the highest target the daemon met within 90%.
+fn run_load_harness(addr: &str, path: &str, mut bench: ServeBench) -> Result<ServeBench, String> {
+    const WINDOW: Duration = Duration::from_millis(400);
+    const FRACTIONS: [f64; 5] = [0.25, 0.5, 0.75, 0.9, 1.05];
+    let burst = load_window(addr, path, 0.0, WINDOW)?;
+    if burst.is_empty() {
+        return Err(String::from("uncapped burst completed no requests"));
+    }
+    bench.max_qps = burst.len() as f64 / WINDOW.as_secs_f64();
+    for fraction in FRACTIONS {
+        let target_qps = bench.max_qps * fraction;
+        let mut lat = load_window(addr, path, target_qps, WINDOW)?;
+        let achieved_qps = lat.len() as f64 / WINDOW.as_secs_f64();
+        lat.sort_by(|a, b| a.total_cmp(b));
+        if achieved_qps >= 0.9 * target_qps {
+            bench.saturation_qps = bench.saturation_qps.max(target_qps);
+        }
+        bench.load.push(LoadStep {
+            target_qps,
+            achieved_qps,
+            requests: lat.len(),
+            p50_us: percentile(&lat, 50.0),
+            p95_us: percentile(&lat, 95.0),
+            p99_us: percentile(&lat, 99.0),
+        });
+    }
+    Ok(bench)
+}
+
+/// Issues closed-loop requests over a small keep-alive connection pool
+/// for `window`, pacing to `target_qps` (0 = uncapped), and returns the
+/// per-request latencies in microseconds. Reconnects once per request if
+/// the server retires a connection (per-connection request cap).
+fn load_window(
+    addr: &str,
+    path: &str,
+    target_qps: f64,
+    window: Duration,
+) -> Result<Vec<f64>, String> {
+    use wavelan_serve::client::Conn;
+    const POOL: usize = 2;
+    let timeout = Duration::from_secs(10);
+    let mut pool = Vec::with_capacity(POOL);
+    for _ in 0..POOL {
+        pool.push(Conn::connect(addr, timeout).map_err(|e| format!("load connect: {e}"))?);
+    }
+    let interval = if target_qps > 0.0 {
+        Duration::from_secs_f64(1.0 / target_qps)
+    } else {
+        Duration::ZERO
+    };
+    let start = Instant::now();
+    let mut latencies = Vec::new();
+    let mut sent = 0usize;
+    loop {
+        let now = start.elapsed();
+        if now >= window {
+            break;
+        }
+        if !interval.is_zero() {
+            let due = interval.mul_f64(sent as f64);
+            if due > now {
+                std::thread::sleep(due - now);
+                if start.elapsed() >= window {
+                    break;
+                }
+            }
+        }
+        let conn = &mut pool[sent % POOL];
+        let issued = Instant::now();
+        let response = match conn.request(path) {
+            Ok(r) => r,
+            Err(_) => {
+                *conn = Conn::connect(addr, timeout).map_err(|e| format!("load reconnect: {e}"))?;
+                conn.request(path).map_err(|e| format!("load fetch: {e}"))?
+            }
+        };
+        if response.status != 200 {
+            return Err(format!("load fetch: HTTP {}", response.status));
+        }
+        latencies.push(issued.elapsed().as_secs_f64() * 1e6);
+        sent += 1;
+    }
+    Ok(latencies)
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice (0 if empty).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
 }
 
 /// The `repro serve` subcommand: parse flags, install signal handlers,
@@ -1062,8 +1211,27 @@ fn serve_main(args: &[String]) -> ! {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage_error("--jobs needs a number (0 = one per core)"))
             }
+            "--store" => {
+                config.store_dir = Some(std::path::PathBuf::from(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| usage_error("--store needs a directory")),
+                ))
+            }
+            "--peers" => {
+                config.peers = it
+                    .next()
+                    .map(|s| s.split(',').map(str::to_string).collect())
+                    .unwrap_or_else(|| usage_error("--peers needs HOST:PORT,..."))
+            }
             flag => usage_error(&format!("unknown serve flag {flag}")),
         }
+    }
+    if !config.peers.is_empty() {
+        if !config.peers.iter().any(|p| p == &addr) {
+            usage_error("--peers requires an explicit --addr that appears in the peer list");
+        }
+        config.self_addr = Some(addr.clone());
     }
     signals::install();
     let server = Server::bind(&addr, config).unwrap_or_else(|e| {

@@ -141,3 +141,56 @@ fn serve_rejects_unknown_flags() {
     let out = repro(&["serve", "--workers", "abc"]);
     assert_eq!(out.status.code(), Some(2));
 }
+
+#[test]
+fn serve_store_and_peers_flag_errors_exit_two() {
+    // Flags without values.
+    assert_eq!(repro(&["serve", "--store"]).status.code(), Some(2));
+    assert_eq!(repro(&["serve", "--peers"]).status.code(), Some(2));
+    // A peer ring the daemon is not a member of must be refused before
+    // binding anything: --peers requires an explicit --addr in the list.
+    let out = repro(&["serve", "--peers", "127.0.0.1:1,127.0.0.1:2"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--addr"));
+}
+
+/// Pins the usage text: every subcommand and flag the scripting surface
+/// depends on must be listed, so `repro --help` stays the one place the
+/// whole CLI is discoverable.
+#[test]
+fn usage_text_lists_every_subcommand_and_flag() {
+    let out = repro(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let usage = String::from_utf8_lossy(&out.stdout).into_owned();
+    for needle in [
+        "--scale smoke|reduced|paper",
+        "--seed N",
+        "--jobs N",
+        "--format text|json",
+        "--timing-json PATH",
+        "--serve-bench PATH",
+        "--list",
+        "--trace-out FILE",
+        "--capture-bench PATH",
+        "repro reanalyze FILE",
+        "repro trace-info FILE",
+        "--scenario NAME",
+        "--validate",
+        "--seeds N",
+        "repro sweep --space NAME|PATH",
+        "--points N",
+        "repro serve",
+        "--addr HOST:PORT",
+        "--workers N",
+        "--queue N",
+        "--cache N",
+        "--timeout-ms N",
+        "--addr-file PATH",
+        "--store DIR",
+        "--peers HOST:PORT,...",
+        "--http-get URL",
+        "--check-json PATH",
+    ] {
+        assert!(usage.contains(needle), "usage must mention {needle:?}:\n{usage}");
+    }
+}

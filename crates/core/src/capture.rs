@@ -52,6 +52,17 @@ pub fn spec_hash(spec: &ScenarioSpec) -> u64 {
     fnv64(spec.to_json().as_bytes())
 }
 
+/// Every registry artifact's `(name, spec hash)`, in registry order — the
+/// identity set the serving tier's persistent store keys against, so a
+/// stored result is recognizably stale the moment an artifact's scenario
+/// spec changes.
+pub fn registry_spec_hashes() -> Vec<(&'static str, u64)> {
+    crate::registry::REGISTRY
+        .iter()
+        .map(|e| (e.artifact_name(), spec_hash(&e.spec())))
+        .collect()
+}
+
 /// One trial's aggregates, whichever path produced them.
 struct TrialCapture {
     summary: TrialSummary,

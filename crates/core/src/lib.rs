@@ -55,7 +55,8 @@ pub mod spec;
 pub mod sweep;
 
 pub use capture::{
-    capture_report, export_trace, reanalyze_file, spec_hash, trace_info, CaptureMode,
+    capture_report, export_trace, reanalyze_file, registry_spec_hashes, spec_hash, trace_info,
+    CaptureMode,
     ReanalyzeError,
 };
 pub use executor::{trial_seed, Executor, TrialPanic};

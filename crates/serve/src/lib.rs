@@ -17,54 +17,73 @@
 //! | `GET /run/{artifact}?seed=N&scale=S` | the artifact's [`RunDocument`] — byte-identical to `repro --format json {artifact}` |
 //! | `GET /validate?seeds=N&seed=N&scale=S` | the fidelity harness's `FidelityReport` (JSON) |
 //! | `GET /sweep?preset=P&seed=N&scale=S&points=N` | a parameter-sweep `SweepDocument` — byte-identical to `repro sweep --space P --format json` |
-//! | `GET /metrics` | request counts, cache hits/misses, per-label latency histograms (JSON) |
+//! | `GET /metrics` | request counts, tier hits/misses, per-label latency histograms (JSON) |
 //!
 //! ## Architecture
 //!
 //! One accept loop feeds a **bounded queue** serviced by a fixed worker
-//! pool. Admission control is exact because every connection carries one
-//! request (`Connection: close`): when the queue is full the accept loop
-//! answers `429` immediately instead of letting latency grow unbounded.
-//! Each worker parses, routes, and — for the compute endpoints —
-//! consults the **sharded LRU result cache** first. Runs are deterministic,
-//! so the cache key `(artifact, seed, scale)` — for `/sweep`, the
-//! parameter space's canonical hash in place of the artifact name — fully
-//! identifies the response bytes; repeat requests never re-simulate. Misses run on a detached
-//! compute thread (each request gets its own [`Executor`], the same
-//! deterministic trial fan-out the CLI uses) so the worker can enforce the
-//! **per-request deadline**: a run that outlives it gets `503` and the
-//! abandoned computation still finishes and warms the cache for the retry.
-//! A panicking run is caught and answered with `500` — the daemon, its
-//! workers, and the other in-flight requests are unaffected. Shutdown
-//! (SIGTERM/SIGINT via [`signals`], or [`ShutdownHandle::request`]) stops
-//! accepting, then drains the queue and in-flight work before [`Server::run`]
-//! returns.
+//! pool. Connections are **persistent** (HTTP/1.1 keep-alive, pipelining
+//! included): a worker owns a connection from admission until the client
+//! closes, idles out, or asks for `Connection: close`, and admission
+//! bounds *connections* — when queue plus busy workers are at capacity the
+//! accept loop answers `429` immediately instead of letting latency grow
+//! unbounded.
+//!
+//! For the compute endpoints each worker consults the **tiered result
+//! store** ([`wavelan_store::TieredStore`]) first: a sharded in-process
+//! LRU (L1) in front of an optional disk-backed content-addressed store
+//! (L2, `Config::store_dir`). Runs are deterministic, so the key
+//! `(artifact, seed, scale)` — for `/sweep`, the parameter space's
+//! canonical hash in place of the artifact name — fully identifies the
+//! response bytes; repeat requests never re-simulate, and with a store
+//! directory they survive restarts: a fresh daemon re-serves persisted
+//! results byte-identically without recomputing (paper-default keys are
+//! warmed into L1 at bind). Entries record the artifact's scenario spec
+//! hash, so editing an experiment invalidates its stored results instead
+//! of serving stale bytes.
+//!
+//! With `Config::peers`, N daemons **consistent-hash the key space**
+//! ([`wavelan_store::HashRing`]): a miss on a key another node owns is
+//! proxied to that owner (marked so it can never proxy onward) and cached
+//! L1-only here — the owner's disk is the durable copy. Any node answers
+//! any request with identical bytes; a proxy failure falls back to local
+//! compute.
+//!
+//! Misses run on a detached compute thread (each request gets its own
+//! [`Executor`], the same deterministic trial fan-out the CLI uses) so the
+//! worker can enforce the **per-request deadline**: a run that outlives it
+//! gets `503` and the abandoned computation still finishes and warms the
+//! store for the retry. A panicking run is caught and answered with `500`
+//! — the daemon, its workers, and the other in-flight requests are
+//! unaffected. Shutdown (SIGTERM/SIGINT via [`signals`], or
+//! [`ShutdownHandle::request`]) stops accepting, then drains the queue and
+//! in-flight work before [`Server::run`] returns.
 //!
 //! Status codes: `200` served, `400` malformed request or parameters,
 //! `404` unknown path or artifact, `405` non-GET, `429` queue full, `500`
 //! run panicked, `503` deadline exceeded.
 
-pub mod cache;
 pub mod client;
 pub mod http;
 pub mod metrics;
 pub mod signals;
 
-use cache::ShardedLru;
-use http::{read_request, write_response, Request};
+use http::{read_request, read_request_from, write_response, ReadOutcome, Request};
 use metrics::{Metrics, SnapshotContext};
 use serde::{Serialize, SerializeStruct, Serializer};
 use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use wavelan_analysis::json::to_string_pretty;
 use wavelan_analysis::RunDocument;
-use wavelan_core::{registry, sweep, Executor, Scale};
+use wavelan_core::{registry, registry_spec_hashes, sweep, Executor, Scale};
+use wavelan_store::{HashRing, StoreKey, TieredStore};
 
 /// Tuning knobs for a [`Server`].
 #[derive(Debug, Clone)]
@@ -75,14 +94,26 @@ pub struct Config {
     /// queue answers `429`. `0` means "no waiting room": anything beyond
     /// the workers' current connections is rejected.
     pub queue_depth: usize,
-    /// Result-cache capacity in entries (`0` disables caching).
+    /// In-memory (L1) result-cache capacity in entries (`0` disables the
+    /// memory tier — with a store directory, every hit is an L2 hit).
     pub cache_capacity: usize,
-    /// Deadline per request, measured from admission; exceeded → `503`.
+    /// Deadline per request, measured from admission (first request on a
+    /// connection) or from arrival (subsequent ones); exceeded → `503`.
     pub request_timeout: Duration,
     /// Executor worker count for each run (`0` = one per core). The
     /// default is 1: the daemon's parallelism comes from serving requests
     /// concurrently, and results are bit-identical at any setting.
     pub jobs_per_run: usize,
+    /// Directory for the persistent (L2) result store; `None` runs
+    /// memory-only. Paper-default keys found here are warmed into L1 at
+    /// bind.
+    pub store_dir: Option<PathBuf>,
+    /// Every node of the serving group (`host:port`, this node included).
+    /// Empty means standalone. Non-empty requires [`Config::self_addr`].
+    pub peers: Vec<String>,
+    /// This node's own entry in [`Config::peers`] — how it recognizes the
+    /// keys it owns.
+    pub self_addr: Option<String>,
 }
 
 impl Default for Config {
@@ -93,6 +124,9 @@ impl Default for Config {
             cache_capacity: 256,
             request_timeout: Duration::from_secs(30),
             jobs_per_run: 1,
+            store_dir: None,
+            peers: Vec::new(),
+            self_addr: None,
         }
     }
 }
@@ -109,13 +143,27 @@ pub const MAX_VALIDATE_SEEDS: u64 = 32;
 /// the same self-DoS logic as [`MAX_VALIDATE_SEEDS`] applies.
 pub const MAX_SWEEP_POINTS: usize = 4_096;
 
-/// Shared server state: queue, cache, counters, shutdown flag.
+/// How long a worker waits for the *first* request after admission before
+/// answering 400 — a connected-but-silent client.
+const FIRST_REQUEST_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// How long a worker keeps an idle persistent connection open waiting for
+/// its next request before closing it (and freeing the worker).
+const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(2);
+
+/// Requests served on one connection before the server closes it — bounds
+/// how long a single client can monopolize a worker.
+const MAX_REQUESTS_PER_CONN: usize = 1_000;
+
+/// Shared server state: queue, result tier, counters, shutdown flag.
 struct State {
     shutdown: AtomicBool,
     queue: Mutex<Queue>,
     available: Condvar,
     metrics: Metrics,
-    cache: ShardedLru,
+    tier: TieredStore,
+    ring: Option<HashRing>,
+    self_node: Option<String>,
     workers: usize,
     queue_depth: usize,
     request_timeout: Duration,
@@ -128,7 +176,7 @@ struct State {
 /// workers are busy".
 struct Queue {
     conns: VecDeque<(TcpStream, Instant)>,
-    /// Connections popped by a worker and not yet answered. Updated under
+    /// Connections popped by a worker and not yet finished. Updated under
     /// this mutex so admission sees an exact count (no pop/start gap).
     busy: usize,
     /// Set once the accept loop exits; workers drain and then quit.
@@ -160,9 +208,10 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and builds
-    /// the shared state. The socket is listening once this returns, but no
-    /// request is served until [`Server::run`].
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port), opens the
+    /// persistent store when configured, warms paper-default keys from it,
+    /// and builds the shared state. The socket is listening once this
+    /// returns, but no request is served until [`Server::run`].
     pub fn bind(addr: &str, config: Config) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let workers = if config.workers == 0 {
@@ -171,6 +220,34 @@ impl Server {
                 .unwrap_or(1)
         } else {
             config.workers
+        };
+        let tier = match &config.store_dir {
+            Some(dir) => TieredStore::with_disk(config.cache_capacity, dir)
+                .map_err(|e| io::Error::other(format!("cannot open store {dir:?}: {e}")))?,
+            None => TieredStore::memory_only(config.cache_capacity),
+        };
+        if config.store_dir.is_some() {
+            tier.warm(&paper_default_keys());
+        }
+        let (ring, self_node) = if config.peers.is_empty() {
+            (None, None)
+        } else {
+            let ring = HashRing::new(&config.peers).ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidInput, "peer list is empty")
+            })?;
+            let self_addr = config.self_addr.clone().ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "peers configured without this node's own address",
+                )
+            })?;
+            if !ring.nodes().contains(&self_addr) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("own address {self_addr:?} is not in the peer list"),
+                ));
+            }
+            (Some(ring), Some(self_addr))
         };
         Ok(Server {
             listener,
@@ -183,7 +260,9 @@ impl Server {
                 }),
                 available: Condvar::new(),
                 metrics: Metrics::new(),
-                cache: ShardedLru::new(config.cache_capacity),
+                tier,
+                ring,
+                self_node,
                 workers,
                 queue_depth: config.queue_depth,
                 request_timeout: config.request_timeout,
@@ -205,6 +284,11 @@ impl Server {
     /// The resolved worker count (`Config::workers` with `0` expanded).
     pub fn workers(&self) -> usize {
         self.state.workers
+    }
+
+    /// Keys the store warmed into memory at bind (0 without a store).
+    pub fn warmed(&self) -> u64 {
+        self.state.tier.snapshot().warmed
     }
 
     /// Serves until shutdown is requested, then drains and returns.
@@ -240,11 +324,28 @@ impl Server {
     }
 }
 
+/// The key set warmed from disk at startup: every registry artifact at the
+/// CLI-default seed, at the `/run` default scale (reduced) and the CI
+/// scale (smoke), each bound to its current spec hash so edits to an
+/// experiment leave its stale entries cold.
+fn paper_default_keys() -> Vec<(StoreKey, u64)> {
+    let mut keys = Vec::new();
+    for (name, spec_hash) in registry_spec_hashes() {
+        for scale in ["reduced", "smoke"] {
+            keys.push((StoreKey::run(name, DEFAULT_SEED, scale), spec_hash));
+        }
+    }
+    keys
+}
+
 /// Admission control: enqueue the connection or reject it with `429`.
 fn admit(state: &Arc<State>, stream: TcpStream) {
     // Accepted sockets may inherit the listener's non-blocking mode on some
-    // platforms; the workers want plain blocking I/O with timeouts.
+    // platforms; the workers want plain blocking I/O with timeouts. Nagle
+    // off: responses go out in one write, and coalescing small pipelined
+    // responses behind delayed ACKs would stall keep-alive clients.
     let _ = stream.set_nonblocking(false);
+    let _ = stream.set_nodelay(true);
     let mut queue = state.queue.lock().unwrap();
     if queue.conns.len() + queue.busy >= state.queue_depth + state.workers {
         drop(queue);
@@ -257,11 +358,12 @@ fn admit(state: &Arc<State>, stream: TcpStream) {
         let _ = read_request(&mut stream);
         respond(
             state,
-            stream,
+            &mut stream,
             429,
             "admission",
             Instant::now(),
             false,
+            true,
             |_| {
                 (
                     "text/plain; charset=utf-8",
@@ -311,7 +413,7 @@ fn worker_loop(state: &Arc<State>) {
 
 /// What a compute endpoint produced.
 enum Computed {
-    /// The response body (from cache or a finished run).
+    /// The response body (from a tier, a ring peer, or a finished run).
     Body(Arc<String>),
     /// The per-request deadline passed before the run finished.
     DeadlineExceeded,
@@ -319,27 +421,74 @@ enum Computed {
     Panicked(String),
 }
 
-/// Parses, routes, and answers one connection.
+/// Services one persistent connection: requests are read (pipelined bytes
+/// carry over between heads) and answered until the client closes, idles
+/// out, asks for `Connection: close`, hits the per-connection request cap,
+/// or shutdown begins.
 fn handle_connection(state: &Arc<State>, mut stream: TcpStream, admitted_at: Instant) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
-    let request = match read_request(&mut stream) {
-        Ok(request) => request,
-        Err(why) => {
-            respond(state, stream, 400, "malformed", admitted_at, true, |_| {
-                ("text/plain; charset=utf-8", format!("bad request: {why}\n"))
-            });
-            return;
+    let mut carry = Vec::new();
+    let mut served = 0usize;
+    loop {
+        let timeout = if served == 0 {
+            FIRST_REQUEST_TIMEOUT
+        } else {
+            KEEP_ALIVE_IDLE
+        };
+        let _ = stream.set_read_timeout(Some(timeout));
+        let request = match read_request_from(&mut stream, &mut carry) {
+            Ok(ReadOutcome::Request(request)) => request,
+            Ok(ReadOutcome::Closed) => break,
+            Ok(ReadOutcome::Idle) if served > 0 => break,
+            Ok(ReadOutcome::Idle) => {
+                // Connected, never sent a request: that costs a 400, like
+                // any other malformed exchange.
+                respond(state, &mut stream, 400, "malformed", admitted_at, true, true, |_| {
+                    (
+                        "text/plain; charset=utf-8",
+                        String::from("bad request: timed out waiting for request\n"),
+                    )
+                });
+                break;
+            }
+            Err(why) => {
+                respond(state, &mut stream, 400, "malformed", admitted_at, true, true, |_| {
+                    ("text/plain; charset=utf-8", format!("bad request: {why}\n"))
+                });
+                break;
+            }
+        };
+        // The first request's clock starts at admission (queue wait counts
+        // against its deadline); later requests start when they arrive.
+        let started = if served == 0 { admitted_at } else { Instant::now() };
+        served += 1;
+        let close = !request.keep_alive
+            || served >= MAX_REQUESTS_PER_CONN
+            || state.shutdown.load(Ordering::SeqCst);
+        handle_request(state, &mut stream, &request, started, close);
+        if close {
+            break;
         }
-    };
+    }
+}
+
+/// Routes and answers one parsed request.
+fn handle_request(
+    state: &Arc<State>,
+    stream: &mut TcpStream,
+    request: &Request,
+    started: Instant,
+    close: bool,
+) {
     if request.method != "GET" {
         respond(
             state,
             stream,
             405,
             "method-not-allowed",
-            admitted_at,
+            started,
             true,
+            close,
             |_| {
                 (
                     "text/plain; charset=utf-8",
@@ -350,33 +499,33 @@ fn handle_connection(state: &Arc<State>, mut stream: TcpStream, admitted_at: Ins
         return;
     }
     match request.path.as_str() {
-        "/healthz" => respond(state, stream, 200, "healthz", admitted_at, true, |_| {
+        "/healthz" => respond(state, stream, 200, "healthz", started, true, close, |_| {
             ("text/plain; charset=utf-8", String::from("ok\n"))
         }),
-        "/artifacts" => respond(state, stream, 200, "artifacts", admitted_at, true, |_| {
+        "/artifacts" => respond(state, stream, 200, "artifacts", started, true, close, |_| {
             ("application/json", to_string_pretty(&ArtifactsDoc))
         }),
         "/metrics" => {
             let snapshot = state.metrics.snapshot(SnapshotContext {
                 workers: state.workers,
                 queue_depth: state.queue_depth,
-                cache_entries: state.cache.len(),
-                cache_capacity: state.cache.capacity(),
+                tier: state.tier.snapshot(),
+                peers: state.ring.as_ref().map(HashRing::len).unwrap_or(0),
             });
-            respond(state, stream, 200, "metrics", admitted_at, true, |_| {
+            respond(state, stream, 200, "metrics", started, true, close, |_| {
                 ("application/json", to_string_pretty(&snapshot))
             })
         }
         path if path.starts_with("/run/") => {
-            handle_run(state, stream, &request, admitted_at);
+            handle_run(state, stream, request, started, close);
         }
         "/validate" => {
-            handle_validate(state, stream, &request, admitted_at);
+            handle_validate(state, stream, request, started, close);
         }
         "/sweep" => {
-            handle_sweep(state, stream, &request, admitted_at);
+            handle_sweep(state, stream, request, started, close);
         }
-        _ => respond(state, stream, 404, "notfound", admitted_at, true, |_| {
+        _ => respond(state, stream, 404, "notfound", started, true, close, |_| {
             (
                 "text/plain; charset=utf-8",
                 String::from(
@@ -388,10 +537,16 @@ fn handle_connection(state: &Arc<State>, mut stream: TcpStream, admitted_at: Ins
 }
 
 /// `GET /run/{artifact}?seed=N&scale=S`.
-fn handle_run(state: &Arc<State>, stream: TcpStream, request: &Request, admitted_at: Instant) {
+fn handle_run(
+    state: &Arc<State>,
+    stream: &mut TcpStream,
+    request: &Request,
+    started: Instant,
+    close: bool,
+) {
     let raw_name = &request.path["/run/".len()..];
     let Some(experiment) = registry::find(raw_name) else {
-        respond(state, stream, 404, "run", admitted_at, true, |_| {
+        respond(state, stream, 404, "run", started, true, close, |_| {
             (
                 "text/plain; charset=utf-8",
                 format!(
@@ -405,7 +560,7 @@ fn handle_run(state: &Arc<State>, stream: TcpStream, request: &Request, admitted
     let params = match RunParams::from_query(request, &["seed", "scale"]) {
         Ok(params) => params,
         Err(why) => {
-            respond(state, stream, 400, "run", admitted_at, true, |_| {
+            respond(state, stream, 400, "run", started, true, close, |_| {
                 ("text/plain; charset=utf-8", format!("{why}\n"))
             });
             return;
@@ -413,10 +568,11 @@ fn handle_run(state: &Arc<State>, stream: TcpStream, request: &Request, admitted
     };
     let name = experiment.artifact_name();
     let label = format!("run:{name}");
-    let key = format!("run:{name}:{}:{}", params.seed, params.scale.name());
+    let key = StoreKey::run(name, params.seed, params.scale.name());
+    let spec_hash = wavelan_core::spec_hash(&experiment.spec());
     let jobs = state.jobs_per_run;
     let (seed, scale) = (params.seed, params.scale);
-    let computed = compute_cached(state, &key, admitted_at, move || {
+    let computed = lookup_or_compute(state, &key, spec_hash, request, started, move || {
         let exec = Executor::new(jobs);
         let report = experiment.run(scale, seed, &exec);
         to_string_pretty(&RunDocument {
@@ -425,29 +581,32 @@ fn handle_run(state: &Arc<State>, stream: TcpStream, request: &Request, admitted
             artifacts: vec![report],
         })
     });
-    respond_computed(state, stream, &label, admitted_at, computed);
+    respond_computed(state, stream, &label, started, close, computed);
 }
 
 /// `GET /validate?seeds=N&seed=N&scale=S`.
-fn handle_validate(state: &Arc<State>, stream: TcpStream, request: &Request, admitted_at: Instant) {
+fn handle_validate(
+    state: &Arc<State>,
+    stream: &mut TcpStream,
+    request: &Request,
+    started: Instant,
+    close: bool,
+) {
     let params = match RunParams::from_query(request, &["seed", "scale", "seeds"]) {
         Ok(params) => params,
         Err(why) => {
-            respond(state, stream, 400, "validate", admitted_at, true, |_| {
+            respond(state, stream, 400, "validate", started, true, close, |_| {
                 ("text/plain; charset=utf-8", format!("{why}\n"))
             });
             return;
         }
     };
-    let key = format!(
-        "validate:{}:{}:{}",
-        params.seeds,
-        params.seed,
-        params.scale.name()
-    );
+    let key = StoreKey::validate(params.seeds, params.seed, params.scale.name());
     let jobs = state.jobs_per_run;
     let (seed, scale, seeds) = (params.seed, params.scale, params.seeds);
-    let computed = compute_cached(state, &key, admitted_at, move || {
+    // The fidelity report spans every artifact; no single scenario spec
+    // identifies it, so its entries carry spec hash 0.
+    let computed = lookup_or_compute(state, &key, 0, request, started, move || {
         let exec = Executor::new(jobs);
         let config = wavelan_validate::Config {
             scale,
@@ -456,7 +615,7 @@ fn handle_validate(state: &Arc<State>, stream: TcpStream, request: &Request, adm
         };
         to_string_pretty(&wavelan_validate::run(&config, &exec))
     });
-    respond_computed(state, stream, "validate", admitted_at, computed);
+    respond_computed(state, stream, "validate", started, close, computed);
 }
 
 /// `GET /sweep?preset=P&seed=N&scale=S&points=N`.
@@ -465,11 +624,17 @@ fn handle_validate(state: &Arc<State>, stream: TcpStream, request: &Request, adm
 /// per-point budget multiplies by the space size, and matching the
 /// `repro sweep` default keeps the daemon's bytes comparable to the CLI's
 /// without extra flags.
-fn handle_sweep(state: &Arc<State>, stream: TcpStream, request: &Request, admitted_at: Instant) {
+fn handle_sweep(
+    state: &Arc<State>,
+    stream: &mut TcpStream,
+    request: &Request,
+    started: Instant,
+    close: bool,
+) {
     let params = match RunParams::from_query(request, &["preset", "seed", "scale", "points"]) {
         Ok(params) => params,
         Err(why) => {
-            respond(state, stream, 400, "sweep", admitted_at, true, |_| {
+            respond(state, stream, 400, "sweep", started, true, close, |_| {
                 ("text/plain; charset=utf-8", format!("{why}\n"))
             });
             return;
@@ -483,7 +648,7 @@ fn handle_sweep(state: &Arc<State>, stream: TcpStream, request: &Request, admitt
     let preset_name = request.param("preset").unwrap_or(sweep::PRESET_NAMES[0]);
     let Some(mut space) = sweep::preset(preset_name) else {
         let preset_name = preset_name.to_string();
-        respond(state, stream, 404, "sweep", admitted_at, true, move |_| {
+        respond(state, stream, 404, "sweep", started, true, close, move |_| {
             (
                 "text/plain; charset=utf-8",
                 format!(
@@ -504,7 +669,7 @@ fn handle_sweep(state: &Arc<State>, stream: TcpStream, request: &Request, admitt
             Some(points) => space = space.with_points(points),
             None => {
                 let raw = raw.to_string();
-                respond(state, stream, 400, "sweep", admitted_at, true, move |_| {
+                respond(state, stream, 400, "sweep", started, true, close, move |_| {
                     (
                         "text/plain; charset=utf-8",
                         format!("points must be an integer in 1..={MAX_SWEEP_POINTS}, got {raw:?}"),
@@ -514,22 +679,19 @@ fn handle_sweep(state: &Arc<State>, stream: TcpStream, request: &Request, admitt
             }
         },
     }
-    let key = format!(
-        "sweep:{:016x}:{}:{}",
-        space.canonical_hash(),
-        params.seed,
-        scale.name()
-    );
+    let space_hash = space.canonical_hash();
+    let key = StoreKey::sweep(space_hash, params.seed, scale.name());
     let jobs = state.jobs_per_run;
     let seed = params.seed;
-    let computed = compute_cached(state, &key, admitted_at, move || {
+    // The canonical space hash *is* the sweep's spec identity.
+    let computed = lookup_or_compute(state, &key, space_hash, request, started, move || {
         let exec = Executor::new(jobs);
         let doc = space
             .run(scale, seed, &exec)
             .unwrap_or_else(|e| panic!("sweep failed: {e}"));
         to_string_pretty(&doc)
     });
-    respond_computed(state, stream, "sweep", admitted_at, computed);
+    respond_computed(state, stream, "sweep", started, close, computed);
 }
 
 /// Validated query parameters of the compute endpoints.
@@ -582,29 +744,62 @@ impl RunParams {
     }
 }
 
-/// Serves `key` from the cache, or runs `produce` on a detached compute
-/// thread under the request deadline.
+/// Serves `key` from the result tier; on a miss, proxies to the ring peer
+/// owning the key (when one exists and this request wasn't itself
+/// proxied), and otherwise runs `produce` on a detached compute thread
+/// under the request deadline.
 ///
-/// The detached thread inserts into the cache itself, so a response
-/// abandoned at the deadline still warms the cache for the next attempt —
+/// The detached thread inserts into the tier itself, so a response
+/// abandoned at the deadline still warms the store for the next attempt —
 /// and a panicking run unwinds that thread alone, reported back here as
-/// [`Computed::Panicked`].
-fn compute_cached<F>(state: &Arc<State>, key: &str, admitted_at: Instant, produce: F) -> Computed
+/// [`Computed::Panicked`]. Proxied bodies are cached L1-only: the owning
+/// node's disk is the durable copy.
+fn lookup_or_compute<F>(
+    state: &Arc<State>,
+    key: &StoreKey,
+    spec_hash: u64,
+    request: &Request,
+    started: Instant,
+    produce: F,
+) -> Computed
 where
     F: FnOnce() -> String + Send + 'static,
 {
-    if let Some(body) = state.cache.get(key) {
+    if let Some(body) = state.tier.get(key, spec_hash) {
         state.metrics.cache_hit();
         return Computed::Body(body);
     }
     state.metrics.cache_miss();
-    let deadline = admitted_at + state.request_timeout;
+    let deadline = started + state.request_timeout;
+    if let (Some(ring), Some(self_node)) = (&state.ring, &state.self_node) {
+        // A proxied request is computed here no matter who owns the key —
+        // the owner forwarding to the owner would loop forever.
+        if !request.is_proxied() {
+            let owner = ring.owner(key.hash());
+            if owner != self_node {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if !remaining.is_zero() {
+                    match client::get_proxied(owner, &request.target, remaining) {
+                        Ok(resp) if resp.status == 200 => {
+                            let body = Arc::new(resp.body);
+                            state.tier.insert_l1_only(key, Arc::clone(&body));
+                            state.metrics.peer_proxy();
+                            return Computed::Body(body);
+                        }
+                        // Peer down or erroring: compute locally rather
+                        // than fail the request.
+                        Ok(_) | Err(_) => {}
+                    }
+                }
+            }
+        }
+    }
     let (tx, rx) = mpsc::channel::<Result<Arc<String>, String>>();
     {
         // The thread outlives a timed-out request on purpose; it owns a
         // clone of the state Arc and the key, not borrows.
         let state = Arc::clone(state);
-        let key = key.to_string();
+        let key = key.clone();
         let spawned = std::thread::Builder::new()
             .name(String::from("serve-compute"))
             .spawn(move || {
@@ -612,7 +807,7 @@ where
                 let message = match outcome {
                     Ok(body) => {
                         let body = Arc::new(body);
-                        state.cache.insert(key, Arc::clone(&body));
+                        state.tier.insert(&key, spec_hash, Arc::clone(&body));
                         Ok(body)
                     }
                     Err(payload) => Err(panic_message(payload)),
@@ -649,23 +844,28 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// Turns a [`Computed`] into the final response.
 fn respond_computed(
     state: &Arc<State>,
-    stream: TcpStream,
+    stream: &mut TcpStream,
     label: &str,
-    admitted_at: Instant,
+    started: Instant,
+    close: bool,
     computed: Computed,
 ) {
     match computed {
-        Computed::Body(body) => respond(state, stream, 200, label, admitted_at, true, move |_| {
+        Computed::Body(body) => respond(state, stream, 200, label, started, true, close, move |_| {
             ("application/json", body.as_ref().clone())
         }),
-        Computed::DeadlineExceeded => respond(state, stream, 503, label, admitted_at, true, |_| {
-            (
-                "text/plain; charset=utf-8",
-                String::from("request deadline exceeded; the run continues and will be cached\n"),
-            )
-        }),
+        Computed::DeadlineExceeded => {
+            respond(state, stream, 503, label, started, true, close, |_| {
+                (
+                    "text/plain; charset=utf-8",
+                    String::from(
+                        "request deadline exceeded; the run continues and will be cached\n",
+                    ),
+                )
+            })
+        }
         Computed::Panicked(message) => {
-            respond(state, stream, 500, label, admitted_at, true, move |_| {
+            respond(state, stream, 500, label, started, true, close, move |_| {
                 (
                     "text/plain; charset=utf-8",
                     format!("run failed: {message}\n"),
@@ -676,13 +876,15 @@ fn respond_computed(
 }
 
 /// Writes the response and records its metrics.
+#[allow(clippy::too_many_arguments)]
 fn respond<F>(
     state: &Arc<State>,
-    mut stream: TcpStream,
+    stream: &mut TcpStream,
     status: u16,
     label: &str,
     started: Instant,
     in_service: bool,
+    close: bool,
     body: F,
 ) where
     F: FnOnce(&Arc<State>) -> (&'static str, String),
@@ -690,7 +892,7 @@ fn respond<F>(
     let (content_type, text) = body(state);
     // A peer that hung up already doesn't un-serve the request; the
     // counters record what the server did, not what the client saw.
-    let _ = write_response(&mut stream, status, content_type, &text);
+    let _ = write_response(stream, status, content_type, &text, close);
     state
         .metrics
         .complete(status, label, started.elapsed(), in_service);

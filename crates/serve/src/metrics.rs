@@ -1,5 +1,6 @@
-//! Runtime observability: request counters, cache hit/miss counts, an
-//! in-flight gauge, per-status totals, and per-label latency histograms.
+//! Runtime observability: request counters, cache and store-tier hit/miss
+//! counts, an in-flight gauge, per-status totals, and per-label latency
+//! histograms.
 //!
 //! Counters are lock-free atomics on the hot path; the keyed maps (status
 //! codes, endpoint labels, latency histograms) sit behind short-lived
@@ -13,6 +14,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+use wavelan_store::TierSnapshot;
 
 /// Upper bounds (µs) of the latency histogram buckets; one overflow bucket
 /// follows. Log-spaced: cache hits land in the first buckets, cold
@@ -97,6 +99,8 @@ pub struct Metrics {
     in_flight: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    /// Misses answered by proxying to the owning ring peer.
+    peer_proxied: AtomicU64,
     status: Mutex<BTreeMap<u16, u64>>,
     latency: Mutex<BTreeMap<String, Histogram>>,
 }
@@ -112,6 +116,7 @@ impl Metrics {
             in_flight: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            peer_proxied: AtomicU64::new(0),
             status: Mutex::new(BTreeMap::new()),
             latency: Mutex::new(BTreeMap::new()),
         }
@@ -160,6 +165,11 @@ impl Metrics {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a miss served by proxying to the owning ring peer.
+    pub fn peer_proxy(&self) {
+        self.peer_proxied.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Cache hits so far.
     pub fn cache_hits(&self) -> u64 {
         self.cache_hits.load(Ordering::Relaxed)
@@ -181,6 +191,7 @@ impl Metrics {
             in_flight: self.in_flight.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            peer_proxied: self.peer_proxied.load(Ordering::Relaxed),
             status: self.status.lock().unwrap().clone(),
             latency: self.latency.lock().unwrap().clone(),
             ctx,
@@ -202,10 +213,11 @@ pub struct SnapshotContext {
     /// Admission-queue depth limit (waiting connections beyond the
     /// workers).
     pub queue_depth: usize,
-    /// Entries currently cached.
-    pub cache_entries: usize,
-    /// Configured cache capacity.
-    pub cache_capacity: usize,
+    /// The result tier's own counters (L1/L2 hits, evictions, persist
+    /// errors, warming).
+    pub tier: TierSnapshot,
+    /// Ring peers this daemon proxies to (0 when running standalone).
+    pub peers: usize,
 }
 
 /// A serializable point-in-time view of [`Metrics`].
@@ -221,10 +233,12 @@ pub struct Snapshot {
     pub rejected: u64,
     /// Requests currently under service.
     pub in_flight: u64,
-    /// Responses served from the result cache.
+    /// Responses served from the result tier (L1 or L2).
     pub cache_hits: u64,
-    /// Responses that had to run the simulation.
+    /// Responses no tier could answer (computed or proxied).
     pub cache_misses: u64,
+    /// Misses answered by proxying to the owning ring peer.
+    pub peer_proxied: u64,
     /// Served responses by status code.
     pub status: BTreeMap<u16, u64>,
     /// Latency histograms by routing label (`run:table2`, `validate`,
@@ -236,20 +250,36 @@ pub struct Snapshot {
 
 impl Serialize for Snapshot {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let mut s = serializer.serialize_struct("Snapshot", 12)?;
+        let mut s = serializer.serialize_struct("Snapshot", 14)?;
         s.serialize_field("uptime_seconds", &self.uptime_seconds)?;
         s.serialize_field("workers", &self.ctx.workers)?;
         s.serialize_field("queue_depth", &self.ctx.queue_depth)?;
+        s.serialize_field("peers", &(self.ctx.peers as u64))?;
         s.serialize_field("admitted", &self.admitted)?;
         s.serialize_field("completed", &self.completed)?;
         s.serialize_field("rejected", &self.rejected)?;
         s.serialize_field("in_flight", &self.in_flight)?;
+        // The "cache" section keeps its historical shape — hits means "any
+        // tier answered" — so dashboards and tests written against the
+        // memory-only daemon keep working; "store" breaks the tiers out.
         let mut cache = BTreeMap::new();
         cache.insert("hits", self.cache_hits);
         cache.insert("misses", self.cache_misses);
-        cache.insert("entries", self.ctx.cache_entries as u64);
-        cache.insert("capacity", self.ctx.cache_capacity as u64);
+        cache.insert("entries", self.ctx.tier.l1_entries as u64);
+        cache.insert("capacity", self.ctx.tier.l1_capacity as u64);
         s.serialize_field("cache", &SortedMap(&cache))?;
+        let tier = &self.ctx.tier;
+        let mut store = BTreeMap::new();
+        store.insert("l1_hits", tier.l1_hits);
+        store.insert("l2_hits", tier.l2_hits);
+        store.insert("misses", tier.misses);
+        store.insert("evictions", tier.evictions);
+        store.insert("persist_errors", tier.persist_errors);
+        store.insert("read_errors", tier.read_errors);
+        store.insert("warmed", tier.warmed);
+        store.insert("disk_enabled", u64::from(tier.disk_enabled));
+        store.insert("peer_proxied", self.peer_proxied);
+        s.serialize_field("store", &SortedMap(&store))?;
         s.serialize_field("status", &SortedMap(&self.status))?;
         s.serialize_field("latency", &SortedMap(&self.latency))?;
         s.end()
@@ -280,11 +310,23 @@ mod tests {
         m.complete(200, "run:table2", Duration::from_millis(3), true);
         m.reject();
         m.complete(429, "admission", Duration::ZERO, false);
+        m.peer_proxy();
         let snap = m.snapshot(SnapshotContext {
             workers: 4,
             queue_depth: 64,
-            cache_entries: 1,
-            cache_capacity: 256,
+            tier: TierSnapshot {
+                l1_hits: 0,
+                l2_hits: 3,
+                misses: 1,
+                evictions: 0,
+                persist_errors: 0,
+                read_errors: 0,
+                warmed: 2,
+                disk_enabled: true,
+                l1_entries: 1,
+                l1_capacity: 256,
+            },
+            peers: 2,
         });
         let json = wavelan_analysis::json::to_string_pretty(&snap);
         let value = wavelan_analysis::json::parse(&json).expect("well-formed");
@@ -295,6 +337,15 @@ mod tests {
         assert_eq!(
             value.get("in_flight"),
             Some(&wavelan_analysis::json::Value::Number("0".into()))
+        );
+        let store = value.get("store").expect("store section");
+        assert_eq!(
+            store.get("l2_hits"),
+            Some(&wavelan_analysis::json::Value::Number("3".into()))
+        );
+        assert_eq!(
+            store.get("peer_proxied"),
+            Some(&wavelan_analysis::json::Value::Number("1".into()))
         );
         let latency = value.get("latency").expect("latency map");
         assert!(latency.get("run:table2").is_some());

@@ -1,0 +1,56 @@
+//! Typed failures of the persistent store.
+//!
+//! The contract mirrors the WLTC trace codec's: a damaged file — flipped
+//! bytes, truncation, a future format version, trailing garbage — is
+//! *reported*, never panicked on, and can never surface as wrong response
+//! bytes (the tier treats every decode failure as a miss and recomputes,
+//! overwriting the damaged entry).
+
+use std::io;
+
+/// Why a store operation failed.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem failure (open, read, write, rename).
+    Io(io::Error),
+    /// The file is not a WLST entry (bad magic).
+    BadMagic,
+    /// A format version this library does not read (skew between the
+    /// writer that persisted the entry and this reader).
+    UnsupportedVersion(u8),
+    /// Structurally invalid: truncated, absurd lengths, trailing bytes,
+    /// inconsistent counts.
+    Corrupt(&'static str),
+    /// The body bytes do not hash to the checksum the header recorded.
+    ChecksumMismatch {
+        /// Checksum recorded in the entry header.
+        expected: u64,
+        /// Checksum of the body bytes actually read.
+        found: u64,
+    },
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl core::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o error: {e}"),
+            StoreError::BadMagic => write!(f, "not a WLST store entry"),
+            StoreError::UnsupportedVersion(v) => {
+                write!(f, "unsupported store entry version {v}")
+            }
+            StoreError::Corrupt(what) => write!(f, "corrupt store entry: {what}"),
+            StoreError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "store entry checksum mismatch: header says {expected:016x}, body hashes to {found:016x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}

@@ -1,10 +1,9 @@
-//! Sharded LRU result cache.
+//! Sharded LRU body cache — the in-process L1 of the result tier.
 //!
-//! Every run the daemon serves is deterministic — the response bytes are a
-//! pure function of `(artifact, seed, scale)` (and, for validation, the
-//! seed count) — so finished response bodies are memoized and repeat
-//! requests come straight from memory. Keys are the canonical request
-//! strings built by the server (`run:table2:1996:smoke`), values are the
+//! Every result the tier holds is deterministic — the body is a pure
+//! function of its [`StoreKey`](crate::StoreKey) — so finished response
+//! bodies are memoized and repeat lookups come straight from memory. Keys
+//! are the canonical key strings (`run:table2:1996:smoke`), values are the
 //! exact response bodies behind [`Arc`] so a hit is one clone of a pointer.
 //!
 //! The map is split into [`SHARDS`] independently locked shards (hash of
@@ -13,10 +12,17 @@
 //! eviction scans its shard for the smallest stamp, which is exact LRU per
 //! shard and O(shard size) only on insertion past capacity — shards are
 //! small (capacity / [`SHARDS`]), so the scan is a handful of entries.
+//! Evictions are counted ([`ShardedLru::evictions`]) for the tier's
+//! `/metrics` story.
+//!
+//! (This began life as `wavelan-serve`'s private result cache; it was
+//! generalized here when the disk tier arrived so both layers share one
+//! key model.)
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Number of independently locked shards.
@@ -29,12 +35,13 @@ struct Shard {
     entries: HashMap<String, (u64, Arc<String>)>,
 }
 
-/// A sharded LRU map from request key to cached response body.
+/// A sharded LRU map from canonical key string to cached response body.
 #[derive(Debug)]
 pub struct ShardedLru {
     shards: Vec<Mutex<Shard>>,
     /// Max entries per shard; 0 disables caching entirely.
     shard_capacity: usize,
+    evictions: AtomicU64,
 }
 
 impl ShardedLru {
@@ -44,6 +51,7 @@ impl ShardedLru {
         ShardedLru {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             shard_capacity: capacity.div_ceil(SHARDS),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -81,6 +89,7 @@ impl ShardedLru {
                 .map(|(k, _)| k.clone())
             {
                 shard.entries.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
         shard.entries.insert(key, (tick, body));
@@ -103,6 +112,11 @@ impl ShardedLru {
     pub fn capacity(&self) -> usize {
         self.shard_capacity * SHARDS
     }
+
+    /// Entries evicted to make room since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
@@ -120,10 +134,11 @@ mod tests {
         cache.insert("a".into(), body("alpha"));
         assert_eq!(cache.get("a").expect("hit").as_str(), "alpha");
         assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 0);
     }
 
     #[test]
-    fn eviction_is_least_recently_used_per_shard() {
+    fn eviction_is_least_recently_used_per_shard_and_counted() {
         // Single-shard-sized cache: capacity 8 → one entry per shard, so
         // inserting two keys that land in the same shard evicts the older.
         let cache = ShardedLru::new(SHARDS);
@@ -145,6 +160,7 @@ mod tests {
         cache.insert(second.clone(), body("two"));
         assert!(cache.get(first).is_none(), "older entry was evicted");
         assert_eq!(cache.get(second).expect("newer survives").as_str(), "two");
+        assert_eq!(cache.evictions(), 1);
     }
 
     #[test]
@@ -157,6 +173,7 @@ mod tests {
         cache.insert("x".into(), body("2"));
         assert_eq!(cache.get("x").expect("refreshed").as_str(), "2");
         assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 0);
     }
 
     #[test]

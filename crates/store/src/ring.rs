@@ -1,0 +1,132 @@
+//! Consistent-hash ring: which node owns which key.
+//!
+//! Every daemon in a `--peers` group builds the ring from the same node
+//! list and must land on the same owner for every key, so construction is
+//! order-insensitive (nodes are sorted and deduped first) and ownership is
+//! a pure function of the node strings — no coordination, no state.
+//!
+//! Each node contributes [`VNODES`] virtual points (FNV of
+//! `"{node}\x00{i}"`) spread around the u64 hash circle; a key belongs to
+//! the first point clockwise from its hash ([`HashRing::owner`] is a
+//! binary search with wraparound). Virtual points smooth the key split —
+//! with 2 real nodes and 64 points each, the ring divides the space close
+//! to evenly rather than wherever two raw hashes happen to fall.
+
+use crate::fnv64;
+
+/// Virtual points each node contributes to the ring.
+pub const VNODES: usize = 64;
+
+/// A consistent-hash ring over a fixed node set.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point, node index)` sorted by point.
+    points: Vec<(u64, usize)>,
+    /// Sorted, deduped node names.
+    nodes: Vec<String>,
+}
+
+impl HashRing {
+    /// Builds the ring from `nodes` (any order, duplicates ignored).
+    /// Returns `None` when the list is empty.
+    pub fn new<S: AsRef<str>>(nodes: &[S]) -> Option<HashRing> {
+        let mut names: Vec<String> = nodes.iter().map(|s| s.as_ref().to_string()).collect();
+        names.sort();
+        names.dedup();
+        if names.is_empty() {
+            return None;
+        }
+        let mut points = Vec::with_capacity(names.len() * VNODES);
+        for (idx, node) in names.iter().enumerate() {
+            for i in 0..VNODES {
+                points.push((fnv64(format!("{node}\x00{i}").as_bytes()), idx));
+            }
+        }
+        points.sort_unstable();
+        Some(HashRing {
+            points,
+            nodes: names,
+        })
+    }
+
+    /// The node owning `key_hash`: the first ring point at or clockwise
+    /// past the hash, wrapping to the first point.
+    pub fn owner(&self, key_hash: u64) -> &str {
+        let idx = self
+            .points
+            .partition_point(|(point, _)| *point < key_hash)
+            % self.points.len();
+        &self.nodes[self.points[idx].1]
+    }
+
+    /// The sorted, deduped node set the ring was built from.
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// Number of distinct nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the ring has no nodes (never — construction refuses an
+    /// empty list — but the conventional pair to [`len`](HashRing::len)).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_list_is_refused() {
+        assert!(HashRing::new::<&str>(&[]).is_none());
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let ring = HashRing::new(&["127.0.0.1:8080"]).expect("ring");
+        for h in [0u64, 1, u64::MAX / 2, u64::MAX] {
+            assert_eq!(ring.owner(h), "127.0.0.1:8080");
+        }
+    }
+
+    #[test]
+    fn construction_is_order_insensitive() {
+        let a = HashRing::new(&["node-b:1", "node-a:1", "node-c:1"]).expect("ring");
+        let b = HashRing::new(&["node-c:1", "node-a:1", "node-b:1", "node-a:1"]).expect("ring");
+        assert_eq!(a.nodes(), b.nodes());
+        for h in (0..1000u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)) {
+            assert_eq!(a.owner(h), b.owner(h), "peers must agree on ownership");
+        }
+    }
+
+    #[test]
+    fn two_nodes_split_the_space_roughly_evenly() {
+        let ring = HashRing::new(&["alpha:1", "beta:2"]).expect("ring");
+        let mut alpha = 0usize;
+        let total = 10_000usize;
+        for i in 0..total {
+            if ring.owner(fnv64(format!("key-{i}").as_bytes())) == "alpha:1" {
+                alpha += 1;
+            }
+        }
+        // 64 vnodes per node keeps the split within a broad band of even.
+        assert!(
+            (2500..=7500).contains(&alpha),
+            "split too lopsided: {alpha}/{total} to alpha"
+        );
+    }
+
+    #[test]
+    fn ownership_is_stable_across_constructions() {
+        let nodes = ["10.0.0.1:9000", "10.0.0.2:9000", "10.0.0.3:9000"];
+        let a = HashRing::new(&nodes).expect("ring");
+        let b = HashRing::new(&nodes).expect("ring");
+        for i in 0..256u64 {
+            assert_eq!(a.owner(i.wrapping_mul(0xABCD_EF12_3456_789B)), b.owner(i.wrapping_mul(0xABCD_EF12_3456_789B)));
+        }
+    }
+}

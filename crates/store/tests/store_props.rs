@@ -1,0 +1,160 @@
+//! Property tests for the WLST persistent-entry format.
+//!
+//! Mirrors the trace codec's corruption suite (`tracecodec_props.rs` in
+//! `wavelan-analysis`): the decoder's contract is that arbitrary damage to
+//! a persisted entry — any single flipped byte, any truncation point —
+//! produces a typed [`StoreError`] or a clean miss, never a panic and
+//! never wrong bytes served as a hit.
+
+use proptest::prelude::*;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use wavelan_store::disk::{decode_entry, DiskStore};
+use wavelan_store::{StoreError, StoreKey};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A unique scratch directory per case (the suite's test functions run in
+/// parallel threads, so pid alone is not enough).
+fn scratch_dir() -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "wavelan-store-props-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Lowercase alphanumeric identifiers of 1..=max chars (the vendored
+/// proptest has no regex strategies, so build strings by mapping digits).
+fn name_strategy(max: usize) -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u8..36, 1..=max).prop_map(|chars| {
+        chars
+            .into_iter()
+            .map(|c| {
+                if c < 26 {
+                    (b'a' + c) as char
+                } else {
+                    (b'0' + c - 26) as char
+                }
+            })
+            .collect()
+    })
+}
+
+fn key_strategy() -> impl Strategy<Value = StoreKey> {
+    (0u8..3, name_strategy(24), any::<u64>(), 0u8..3).prop_map(|(kind, ident, seed, scale)| {
+        StoreKey {
+            kind: ["run", "sweep", "validate"][usize::from(kind)].to_string(),
+            ident,
+            seed,
+            scale: ["smoke", "reduced", "paper"][usize::from(scale)].to_string(),
+        }
+    })
+}
+
+/// Printable-ASCII bodies up to a couple of KB, including the empty body.
+fn body_strategy(max: usize) -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u8..95, 0..max)
+        .prop_map(|chars| chars.into_iter().map(|c| (b' ' + c) as char).collect())
+}
+
+proptest! {
+    #[test]
+    fn round_trip_is_identity(
+        key in key_strategy(),
+        spec in any::<u64>(),
+        body in body_strategy(2048),
+    ) {
+        let dir = scratch_dir();
+        let store = DiskStore::open(&dir).expect("open");
+        store.put(&key, spec, &body).expect("persist");
+        let (meta, back) = store.load(&key).expect("clean read").expect("present");
+        prop_assert_eq!(back, body);
+        prop_assert_eq!(meta.key, key);
+        prop_assert_eq!(meta.spec_hash, spec);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_truncation_fails_loudly(
+        key in key_strategy(),
+        spec in any::<u64>(),
+        body in body_strategy(256),
+    ) {
+        let dir = scratch_dir();
+        let store = DiskStore::open(&dir).expect("open");
+        store.put(&key, spec, &body).expect("persist");
+        let bytes = fs::read(store.entry_path(&key)).expect("read back");
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                decode_entry(&bytes[..cut]).is_err(),
+                "decoding an entry truncated to {}/{} bytes must fail",
+                cut,
+                bytes.len()
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics_or_serves_wrong_bytes(
+        key in key_strategy(),
+        spec in any::<u64>(),
+        body in body_strategy(2048),
+        pos_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let dir = scratch_dir();
+        let store = DiskStore::open(&dir).expect("open");
+        store.put(&key, spec, &body).expect("persist");
+        let path = store.entry_path(&key);
+        let mut bytes = fs::read(&path).expect("read back");
+        let pos = ((bytes.len() as f64 - 1.0) * pos_frac) as usize;
+        bytes[pos] ^= flip;
+        fs::write(&path, &bytes).expect("write corrupted");
+        // The decode either fails typed, reports a different key (a clean
+        // miss), or — only when the flip landed in the spec-hash field,
+        // the one header field the frame itself doesn't bind — returns the
+        // exact body with a changed spec hash, which the tier then rejects
+        // as stale. It must never return the right key with wrong bytes.
+        match store.load(&key) {
+            Err(StoreError::Io(_)) => prop_assert!(false, "a flipped byte cannot cause an I/O error"),
+            Err(_) => {}
+            Ok(None) => {}
+            Ok(Some((meta, back))) => {
+                prop_assert_eq!(&meta.key, &key);
+                prop_assert_eq!(back, body.clone(), "a served hit must be byte-exact");
+                prop_assert_ne!(meta.spec_hash, spec, "some field must differ after a flip");
+            }
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_magic_and_version_skew_are_typed(
+        key in key_strategy(),
+        spec in any::<u64>(),
+        body in body_strategy(512),
+    ) {
+        let dir = scratch_dir();
+        let store = DiskStore::open(&dir).expect("open");
+        store.put(&key, spec, &body).expect("persist");
+        let path = store.entry_path(&key);
+        let good = fs::read(&path).expect("read back");
+
+        let mut bad = good.clone();
+        bad[..4].copy_from_slice(b"NOPE");
+        fs::write(&path, &bad).expect("write");
+        prop_assert!(matches!(store.load(&key), Err(StoreError::BadMagic)));
+
+        let mut bad = good.clone();
+        bad[4] = bad[4].wrapping_add(1);
+        fs::write(&path, &bad).expect("write");
+        prop_assert!(matches!(
+            store.load(&key),
+            Err(StoreError::UnsupportedVersion(_))
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,6 +1,9 @@
 //! Integration tests for the `wavelan-serve` daemon: byte-identity with
 //! the CLI's JSON output under concurrent load, cache-hit accounting,
-//! error statuses (400/404/405/429/503), and graceful shutdown drain.
+//! error statuses (400/404/405/429/503), graceful shutdown drain,
+//! HTTP/1.1 keep-alive and pipelining, the persistent store tier
+//! (restart survival, warming, tier metrics), and the two-node
+//! consistent-hash ring.
 //!
 //! Every test boots a real server on an ephemeral port and talks to it
 //! over TCP with the crate's own minimal client — the same path `repro
@@ -8,13 +11,15 @@
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::path::PathBuf;
 use std::thread;
 use std::time::Duration;
 use wavelan_analysis::json::{parse, to_string_pretty, Value};
 use wavelan_bench::{run_report, RunDocument};
 use wavelan_core::{Executor, Scale};
-use wavelan_serve::client::{get, HttpResponse};
+use wavelan_serve::client::{get, Conn, HttpResponse};
 use wavelan_serve::{Config, Server, ShutdownHandle};
+use wavelan_store::{HashRing, StoreKey};
 
 /// Boots a server, waits for `/healthz`, and returns the address, the
 /// shutdown handle, and the join handle for [`Server::run`].
@@ -312,6 +317,258 @@ fn sweep_endpoint_matches_cli_bytes_and_caches() {
     assert_eq!(fetch(&addr, "/sweep?preset=oven-lhs&points=4").status, 200);
     handle.request();
     join.join().expect("server thread").expect("clean run");
+}
+
+/// A fresh per-test scratch directory under the system temp dir.
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wavelan_serve_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Polls `/healthz` on an already-bound daemon until it answers.
+fn wait_healthy(addr: &str) {
+    for _ in 0..500 {
+        if let Ok(r) = get(addr, "/healthz", Duration::from_millis(250)) {
+            if r.status == 200 {
+                return;
+            }
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
+    panic!("{addr} never became healthy");
+}
+
+#[test]
+fn metrics_expose_store_tier_counters() {
+    let dir = scratch_dir("metrics");
+    let (addr, handle, join) = start(Config {
+        workers: 1,
+        store_dir: Some(dir.clone()),
+        ..Config::default()
+    });
+    // Every store-tier counter must be present and integer-valued, so
+    // scripts can grep/parse them without guessing the schema.
+    let m = parse(&fetch(&addr, "/metrics").body).expect("metrics parse");
+    for counter in [
+        "l1_hits",
+        "l2_hits",
+        "misses",
+        "evictions",
+        "persist_errors",
+        "read_errors",
+        "warmed",
+        "disk_enabled",
+        "peer_proxied",
+    ] {
+        let _ = metric(&m, &["store", counter]);
+    }
+    assert_eq!(metric(&m, &["store", "disk_enabled"]), 1);
+    assert_eq!(metric(&m, &["peers"]), 0, "no ring configured");
+
+    // One compute then a repeat: the miss and the L1 hit must both be
+    // visible, and the legacy `cache` section must stay consistent with
+    // the tier breakdown (hits = any-tier hits).
+    assert_eq!(fetch(&addr, "/run/tdma?seed=1996&scale=smoke").status, 200);
+    assert_eq!(fetch(&addr, "/run/tdma?seed=1996&scale=smoke").status, 200);
+    let m = parse(&fetch(&addr, "/metrics").body).expect("metrics parse");
+    assert!(metric(&m, &["store", "misses"]) >= 1);
+    assert!(metric(&m, &["store", "l1_hits"]) >= 1);
+    assert_eq!(
+        metric(&m, &["cache", "hits"]),
+        metric(&m, &["store", "l1_hits"]) + metric(&m, &["store", "l2_hits"]),
+        "legacy cache.hits must equal the tier hits combined"
+    );
+    handle.request();
+    join.join().expect("server thread").expect("clean run");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn restart_against_same_store_dir_serves_from_disk_without_recompute() {
+    let dir = scratch_dir("restart");
+    let expected_odd = cli_json("tdma", Scale::Smoke, 7);
+    let expected_default = cli_json("tdma", Scale::Smoke, 1996);
+    let config = || Config {
+        workers: 2,
+        store_dir: Some(dir.clone()),
+        ..Config::default()
+    };
+
+    // First daemon: compute one paper-default key (seed 1996 — warmed on
+    // restart) and one off-default key (seed 7 — only on disk).
+    let (addr, handle, join) = start(config());
+    let r = fetch(&addr, "/run/tdma?seed=7&scale=smoke");
+    assert_eq!(r.status, 200);
+    assert_eq!(r.body, expected_odd);
+    let r = fetch(&addr, "/run/tdma?seed=1996&scale=smoke");
+    assert_eq!(r.status, 200);
+    assert_eq!(r.body, expected_default);
+    handle.request();
+    join.join().expect("server thread").expect("clean run");
+
+    // Second daemon, same directory. The default key was warmed into L1
+    // at startup; the off-default key must come from the disk tier. In
+    // both cases the bytes are the persisted ones — no recompute.
+    let (addr, handle, join) = start(config());
+    let before = parse(&fetch(&addr, "/metrics").body).expect("metrics parse");
+    assert!(
+        metric(&before, &["store", "warmed"]) >= 1,
+        "startup warming must preload the persisted paper-default key"
+    );
+    let misses_before = metric(&before, &["store", "misses"]);
+
+    let r = fetch(&addr, "/run/tdma?seed=7&scale=smoke");
+    assert_eq!(r.status, 200);
+    assert_eq!(r.body, expected_odd, "restarted daemon altered the persisted bytes");
+    let r = fetch(&addr, "/run/tdma?seed=1996&scale=smoke");
+    assert_eq!(r.status, 200);
+    assert_eq!(r.body, expected_default);
+
+    let after = parse(&fetch(&addr, "/metrics").body).expect("metrics parse");
+    assert_eq!(
+        metric(&after, &["store", "l2_hits"]),
+        1,
+        "the off-default key must be served from the disk tier"
+    );
+    assert!(
+        metric(&after, &["store", "l1_hits"]) >= 1,
+        "the warmed default key must be served from memory"
+    );
+    assert_eq!(
+        metric(&after, &["store", "misses"]),
+        misses_before,
+        "nothing recomputed after restart"
+    );
+    handle.request();
+    join.join().expect("server thread").expect("clean run");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn keep_alive_connection_serves_many_requests() {
+    let (addr, handle, join) = start(Config {
+        workers: 1,
+        ..Config::default()
+    });
+    let mut conn = Conn::connect(&addr, Duration::from_secs(10)).expect("connect");
+    for _ in 0..20 {
+        let r = conn.request("/healthz").expect("keep-alive request");
+        assert_eq!(r.status, 200);
+    }
+    let r = conn.request("/metrics").expect("metrics over keep-alive");
+    assert_eq!(r.status, 200);
+    parse(&r.body).expect("metrics parse over keep-alive");
+    drop(conn);
+    handle.request();
+    join.join().expect("server thread").expect("clean run");
+}
+
+#[test]
+fn pipelined_requests_on_one_socket_each_get_a_response() {
+    let (addr, handle, join) = start(Config {
+        workers: 1,
+        ..Config::default()
+    });
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    // Three requests in a single write; the last one closes. Every one
+    // must be answered, in order, on the same socket.
+    let payload = "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n\
+                   GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n\
+                   GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+    stream.write_all(payload.as_bytes()).expect("write");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    assert_eq!(
+        response.matches("HTTP/1.1 200").count(),
+        3,
+        "all pipelined requests answered:\n{response}"
+    );
+    assert_eq!(response.matches("Connection: keep-alive").count(), 2);
+    assert_eq!(response.matches("Connection: close").count(), 1);
+    handle.request();
+    join.join().expect("server thread").expect("clean run");
+}
+
+#[test]
+fn two_node_ring_proxies_misses_to_the_owner() {
+    // Pre-pick two free ports by binding throwaway listeners, then hand
+    // the addresses to both daemons as the shared peer list.
+    let (a, b) = {
+        let la = std::net::TcpListener::bind("127.0.0.1:0").expect("port a");
+        let lb = std::net::TcpListener::bind("127.0.0.1:0").expect("port b");
+        (
+            la.local_addr().expect("a").to_string(),
+            lb.local_addr().expect("b").to_string(),
+        )
+    };
+    let peers = vec![a.clone(), b.clone()];
+    let node = |own: &str| {
+        let server = Server::bind(
+            own,
+            Config {
+                workers: 2,
+                peers: peers.clone(),
+                self_addr: Some(own.to_string()),
+                ..Config::default()
+            },
+        )
+        .expect("bind ring node");
+        let handle = server.shutdown_handle();
+        let join = thread::spawn(move || server.run());
+        (handle, join)
+    };
+    let (ha, ja) = node(&a);
+    let (hb, jb) = node(&b);
+    wait_healthy(&a);
+    wait_healthy(&b);
+
+    // Decide ownership with the same ring the daemons built, then hit
+    // the NON-owner: it must proxy to the owner yet serve the CLI bytes.
+    let expected = cli_json("tdma", Scale::Smoke, 1996);
+    let ring = HashRing::new(&peers).expect("ring");
+    let key = StoreKey::run("tdma", 1996, "smoke");
+    let owner = ring.owner(key.hash()).to_string();
+    let other = if owner == a { b.clone() } else { a.clone() };
+
+    let r = fetch(&other, "/run/tdma?seed=1996&scale=smoke");
+    assert_eq!(r.status, 200);
+    assert_eq!(r.body, expected, "proxied response differs from the CLI bytes");
+    let m = parse(&fetch(&other, "/metrics").body).expect("metrics parse");
+    assert_eq!(metric(&m, &["peers"]), 2);
+    assert_eq!(
+        metric(&m, &["store", "peer_proxied"]),
+        1,
+        "the non-owner must have proxied exactly this request"
+    );
+
+    // The owner computed it during the proxy hop; a direct fetch there is
+    // a local hit with the same bytes, not another proxy.
+    let r = fetch(&owner, "/run/tdma?seed=1996&scale=smoke");
+    assert_eq!(r.status, 200);
+    assert_eq!(r.body, expected);
+    let m = parse(&fetch(&owner, "/metrics").body).expect("metrics parse");
+    assert_eq!(metric(&m, &["store", "peer_proxied"]), 0, "owner computes locally");
+    assert!(metric(&m, &["cache", "hits"]) >= 1);
+
+    // And the non-owner cached the proxied body: a repeat is a local hit.
+    let hits_before = metric(
+        &parse(&fetch(&other, "/metrics").body).expect("metrics parse"),
+        &["store", "l1_hits"],
+    );
+    let r = fetch(&other, "/run/tdma?seed=1996&scale=smoke");
+    assert_eq!(r.status, 200);
+    assert_eq!(r.body, expected);
+    let m = parse(&fetch(&other, "/metrics").body).expect("metrics parse");
+    assert_eq!(metric(&m, &["store", "l1_hits"]), hits_before + 1);
+
+    ha.request();
+    hb.request();
+    ja.join().expect("node a thread").expect("clean run");
+    jb.join().expect("node b thread").expect("clean run");
 }
 
 #[test]
